@@ -1,0 +1,359 @@
+//! Ablation studies called out in DESIGN.md.
+//!
+//! * regulator choice at each light level (extends Figs. 6–7);
+//! * comparator threshold spacing vs Pin-estimate accuracy (Fig. 8 design
+//!   knob);
+//! * MPPT algorithm shoot-out (P&O vs fractional-Voc vs time-based) on a
+//!   cloudy trace;
+//! * simulator timestep convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_core::analysis;
+use hems_cpu::{DvfsLadder, Microprocessor};
+use hems_mppt::{
+    FractionalVoc, MppLookupTable, MppTracker, Observation, PerturbObserve, TimeBasedTracker,
+};
+use hems_pv::{Irradiance, SolarCell};
+use hems_sim::{
+    LightProfile, MpptDvfsController, OcSampling, Simulation, SystemConfig,
+};
+use hems_storage::{Capacitor, ComparatorBank};
+use hems_units::{Efficiency, Farads, Seconds, Volts, Watts};
+use std::hint::black_box;
+
+fn regulator_choice_by_light() {
+    let cpu = Microprocessor::paper_65nm();
+    let mut rows = Vec::new();
+    for g in [
+        Irradiance::FULL_SUN,
+        Irradiance::HALF_SUN,
+        Irradiance::QUARTER_SUN,
+    ] {
+        let cell = SolarCell::kxob22(g);
+        if let Ok(a) = analysis::fig6(&cell, &cpu) {
+            let mut best: Option<(String, f64)> = None;
+            for (kind, plan) in &a.plans {
+                let mhz = plan.frequency.to_mega();
+                if best.as_ref().is_none_or(|(_, b)| mhz > *b) {
+                    best = Some((kind.to_string(), mhz));
+                }
+            }
+            let unreg = a.unregulated.frequency.to_mega();
+            if unreg > best.as_ref().map_or(0.0, |(_, b)| *b) {
+                best = Some(("bypass".into(), unreg));
+            }
+            let (winner, mhz) = best.expect("some path is feasible");
+            rows.push(vec![g.to_string(), winner, format!("{mhz:.1}")]);
+        }
+    }
+    print_series(
+        "Ablation: best power path per light level",
+        &["light", "winner", "f (MHz)"],
+        &rows,
+    );
+}
+
+fn threshold_spacing_accuracy() {
+    // How does the V1-V2 spacing affect the eq. 7 estimate's accuracy?
+    let mut rows = Vec::new();
+    for spacing_mv in [25.0, 50.0, 100.0, 200.0] {
+        let v1 = Volts::new(1.0);
+        let v2 = v1 - Volts::from_milli(spacing_mv);
+        let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let mut cap = Capacitor::paper_board();
+        cap.set_voltage(Volts::new(1.05)).unwrap();
+        let mut bank =
+            ComparatorBank::new(&[v1, v2], Volts::from_milli(2.0)).expect("valid bank");
+        let mut tracker = TimeBasedTracker::new(
+            Farads::from_micro(100.0),
+            v1,
+            v2,
+            MppLookupTable::paper_default(),
+            Volts::new(1.1),
+        )
+        .expect("valid tracker");
+        cell.set_irradiance(Irradiance::QUARTER_SUN);
+        let p_drawn = Watts::from_milli(8.0);
+        let dt = Seconds::from_micro(50.0);
+        let mut estimate = None;
+        for i in 0..40_000u64 {
+            let now = Seconds::new(i as f64 * dt.seconds());
+            let p_harvest = cell.power_at(cap.voltage());
+            cap.step_power(p_harvest - p_drawn, dt);
+            let mut obs =
+                Observation::basic(now, cap.voltage(), p_drawn, Efficiency::UNITY);
+            obs.crossings = bank.update(cap.voltage(), now);
+            tracker.update(&obs);
+            if let Some(est) = tracker.last_estimate() {
+                estimate = Some(est);
+                break;
+            }
+        }
+        let mid = (v1 + v2) * 0.5;
+        let truth = SolarCell::kxob22(Irradiance::QUARTER_SUN).power_at(mid);
+        let err = estimate
+            .map(|e| format!("{:.1}%", ((e / truth) - 1.0).abs() * 100.0))
+            .unwrap_or_else(|| "no estimate".into());
+        rows.push(vec![format!("{spacing_mv:.0} mV"), err]);
+    }
+    print_series(
+        "Ablation: comparator spacing vs Pin estimate error",
+        &["V1-V2 spacing", "estimate error"],
+        &rows,
+    );
+}
+
+fn mppt_shootout() {
+    // Cloudy-day harvest comparison across tracking algorithms.
+    let run = |mk: &dyn Fn() -> MpptDvfsController| {
+        let config = SystemConfig::paper_sc_system().expect("valid");
+        let light = LightProfile::clouds(
+            Irradiance::QUARTER_SUN,
+            Irradiance::FULL_SUN,
+            Seconds::from_milli(300.0),
+            Seconds::new(5.0),
+            2024,
+        );
+        let mut sim = Simulation::new(config, light, Volts::new(1.1)).expect("valid");
+        let mut ctl = mk();
+        let summary = sim.run(&mut ctl, Seconds::new(5.0));
+        (
+            summary.ledger.harvested.to_milli(),
+            summary.total_cycles.count() / 1e6,
+        )
+    };
+    let ladder = DvfsLadder::paper_65nm();
+    let period = Seconds::from_milli(1.0);
+    let mut rows = Vec::new();
+    let (h, cyc) = run(&|| {
+        MpptDvfsController::new(Box::new(PerturbObserve::paper_default()), ladder.clone(), period)
+            .with_power_sensor()
+    });
+    rows.push(vec!["perturb-observe".into(), f3(h), f3(cyc)]);
+    let (h, cyc) = run(&|| {
+        MpptDvfsController::new(Box::new(FractionalVoc::paper_default()), ladder.clone(), period)
+            .with_oc_sampling(OcSampling {
+                period: Seconds::from_milli(500.0),
+                duration: Seconds::from_milli(20.0),
+            })
+    });
+    rows.push(vec!["fractional-voc".into(), f3(h), f3(cyc)]);
+    let (h, cyc) = run(&|| {
+        MpptDvfsController::new(
+            Box::new(TimeBasedTracker::paper_default()),
+            ladder.clone(),
+            period,
+        )
+    });
+    rows.push(vec!["time-based (paper)".into(), f3(h), f3(cyc)]);
+    print_series(
+        "Ablation: MPPT algorithms on a 5 s cloudy trace",
+        &["tracker", "harvested (mJ)", "cycles (M)"],
+        &rows,
+    );
+}
+
+fn joint_rail_optimization() {
+    // Beyond the paper: jointly choosing the solar-node voltage and the
+    // supply voltage (optimal_joint_plan) vs pinning the rail at the cell
+    // MPP (eqs. 1-4). With a continuous Vdd the two coincide; the table
+    // also shows the quantized-Vdd efficiency cliff that makes the rail
+    // choice decisive at runtime (see DESIGN.md section 7).
+    let cpu = Microprocessor::paper_65nm();
+    let sc = hems_regulator::ScRegulator::paper_65nm();
+    let mut rows = Vec::new();
+    for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::new(0.35).unwrap()] {
+        let cell = SolarCell::kxob22(g);
+        let (Ok(pinned), Ok(joint)) = (
+            hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu),
+            hems_core::optimal_voltage::optimal_joint_plan(&cell, &sc, &cpu),
+        ) else {
+            continue;
+        };
+        rows.push(vec![
+            g.to_string(),
+            f3(pinned.v_solar.volts()),
+            format!("{:.1}", pinned.frequency.to_mega()),
+            f3(joint.v_solar.volts()),
+            format!("{:.1}", joint.frequency.to_mega()),
+        ]);
+    }
+    print_series(
+        "Ablation: MPP-pinned (eqs. 1-4) vs joint rail+supply optimization",
+        &["light", "pinned rail (V)", "f (MHz)", "joint rail (V)", "f (MHz)"],
+        &rows,
+    );
+    // The quantized-Vdd cliff itself.
+    use hems_regulator::Regulator;
+    let eta = |rail: f64| {
+        sc.efficiency(
+            Volts::new(rail),
+            Volts::new(0.5),
+            hems_units::Watts::from_milli(5.0),
+        )
+        .unwrap()
+        .percent()
+    };
+    println!(
+        "[joint] quantized 0.5 V rung at half sun: rail 0.998 V -> {:.1}% vs rail 1.010 V -> {:.1}%",
+        eta(0.998),
+        eta(1.010)
+    );
+}
+
+fn holistic_vs_oracle() {
+    // Upper bound: an "oracle" that knows the (constant) light level can
+    // precompute the eqs. 1-4 optimum and pin it. How close does the
+    // runtime controller — which must discover everything through the
+    // comparators — get?
+    let cpu = Microprocessor::paper_65nm();
+    let mut rows = Vec::new();
+    for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN] {
+        let cell = SolarCell::kxob22(g);
+        let sc = hems_regulator::ScRegulator::paper_65nm();
+        let plan =
+            hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).expect("feasible");
+        let run = |ctl: &mut dyn hems_sim::Controller| {
+            let mut config = SystemConfig::paper_sc_system().expect("valid");
+            config.cell = cell.clone();
+            let mut sim =
+                Simulation::new(config, LightProfile::constant(g), Volts::new(1.1)).expect("valid");
+            sim.run(ctl, Seconds::new(2.0)).total_cycles.count() / 1e6
+        };
+        let mut oracle = hems_sim::FixedVoltageController::with_clock_fraction(
+            plan.vdd,
+            plan.clock_fraction.min(1.0) * 0.99, // a hair of margin to avoid drift
+        );
+        let oracle_cycles = run(&mut oracle);
+        let mut holistic =
+            hems_core::HolisticController::paper_default(hems_core::Mode::MaxPerformance);
+        let holistic_cycles = run(&mut holistic);
+        rows.push(vec![
+            g.to_string(),
+            f3(oracle_cycles),
+            f3(holistic_cycles),
+            format!("{:.1}%", holistic_cycles / oracle_cycles * 100.0),
+        ]);
+    }
+    print_series(
+        "Ablation: runtime holistic controller vs light-omniscient oracle (2 s)",
+        &["light", "oracle (Mcyc)", "holistic (Mcyc)", "fraction of oracle"],
+        &rows,
+    );
+}
+
+fn energy_performance_frontier() {
+    // The frontier connecting Section IV (max performance) and Section V
+    // (min energy): Pareto-optimal sustainable operating points.
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let sc = hems_regulator::ScRegulator::paper_65nm();
+    let cpu = Microprocessor::paper_65nm();
+    let sweep =
+        hems_core::frontier::sustainable_frontier(&cell, &sc, &cpu, 48).expect("feasible");
+    let front = hems_core::frontier::pareto_front(&sweep);
+    let rows: Vec<Vec<String>> = front
+        .iter()
+        .map(|p| {
+            vec![
+                f3(p.vdd.volts()),
+                format!("{:.1}", p.frequency.to_mega()),
+                f3(p.clock_fraction),
+                format!("{:.1}", p.energy_per_cycle.value() * 1e12),
+            ]
+        })
+        .collect();
+    print_series(
+        "Ablation: Pareto frontier of sustainable operating points (full sun, SC)",
+        &["Vdd (V)", "f (MHz)", "clock frac", "E/cyc (pJ)"],
+        &rows,
+    );
+}
+
+fn dvfs_transition_sensitivity() {
+    // How much does a real (non-ideal) DVFS transition cost the trackers?
+    let run = |transition: Option<hems_sim::DvfsTransition>| {
+        let mut config = SystemConfig::paper_sc_system().expect("valid");
+        config.dvfs_transition = transition;
+        let light = LightProfile::clouds(
+            Irradiance::QUARTER_SUN,
+            Irradiance::FULL_SUN,
+            Seconds::from_milli(300.0),
+            Seconds::new(3.0),
+            2024,
+        );
+        let mut sim = Simulation::new(config, light, Volts::new(1.1)).expect("valid");
+        let mut ctl = MpptDvfsController::new(
+            Box::new(TimeBasedTracker::paper_default()),
+            DvfsLadder::paper_65nm(),
+            Seconds::from_milli(1.0),
+        );
+        let summary = sim.run(&mut ctl, Seconds::new(3.0));
+        summary.total_cycles.count() / 1e6
+    };
+    let ideal = run(None);
+    let real = run(Some(hems_sim::DvfsTransition::paper_integrated()));
+    let slow = run(Some(hems_sim::DvfsTransition {
+        latency: Seconds::from_micro(500.0),
+        energy: hems_units::Joules::new(2e-6),
+    }));
+    print_series(
+        "Ablation: DVFS transition cost (time-based MPPT, 3 s clouds)",
+        &["transition model", "cycles (M)"],
+        &[
+            vec!["ideal (instant)".into(), f3(ideal)],
+            vec!["integrated (20 us / 50 nJ)".into(), f3(real)],
+            vec!["discrete-module (500 us / 2 uJ)".into(), f3(slow)],
+        ],
+    );
+}
+
+fn timestep_convergence() {
+    let mut rows = Vec::new();
+    for dt_us in [200.0, 100.0, 50.0, 25.0, 10.0] {
+        let mut config = SystemConfig::paper_sc_system().expect("valid");
+        config.dt = Seconds::from_micro(dt_us);
+        let light = LightProfile::constant(Irradiance::HALF_SUN);
+        let mut sim = Simulation::new(config, light, Volts::new(1.1)).expect("valid");
+        let mut ctl = hems_sim::FixedVoltageController::new(Volts::new(0.55));
+        let summary = sim.run(&mut ctl, Seconds::from_milli(100.0));
+        rows.push(vec![
+            format!("{dt_us:.0} us"),
+            f3(summary.final_v_solar.volts()),
+            format!("{:.2}", summary.ledger.harvested.to_micro()),
+        ]);
+    }
+    print_series(
+        "Ablation: timestep convergence (100 ms run, half sun)",
+        &["dt", "final V (V)", "harvested (uJ)"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regulator_choice_by_light();
+    threshold_spacing_accuracy();
+    mppt_shootout();
+    joint_rail_optimization();
+    holistic_vs_oracle();
+    energy_performance_frontier();
+    dvfs_transition_sensitivity();
+    timestep_convergence();
+    c.bench_function("ablations/sim_throughput_steps_per_sec", |b| {
+        let config = SystemConfig::paper_sc_system().expect("valid");
+        let light = LightProfile::constant(Irradiance::FULL_SUN);
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(config.clone(), light.clone(), Volts::new(1.1)).expect("valid");
+            let mut ctl = hems_sim::FixedVoltageController::new(Volts::new(0.55));
+            black_box(sim.run(&mut ctl, Seconds::from_milli(50.0)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Fig. 11 — the end-to-end system demonstration.
+//!
+//! (a) The measured speed and energy-contributor curves of the test chip:
+//!     frequency, dynamic/leakage energy per cycle, and the two MEP markers.
+//! (b) The measured sprint-and-bypass waveform: light dims mid-job, the
+//!     controller slows, sprints, then bypasses the regulator to extend
+//!     operation (paper: +3 ms / +20 % operation, +10 % solar energy at a
+//!     20 % sprint rate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, pct, print_series};
+use hems_core::{mep, HolisticController, Mode};
+use hems_cpu::Microprocessor;
+use hems_pv::Irradiance;
+use hems_regulator::ScRegulator;
+use hems_sim::{
+    Controller, FixedVoltageController, Job, LightProfile, Simulation, SystemConfig,
+};
+use hems_units::{Cycles, Seconds, Volts};
+use std::hint::black_box;
+
+fn fig11a() {
+    let cpu = Microprocessor::paper_65nm();
+    let sc = ScRegulator::paper_65nm();
+    let v_in = Volts::new(1.1);
+    let mut rows = Vec::new();
+    for i in 0..=22 {
+        let v = Volts::new(0.45 + (1.0 - 0.45) * i as f64 / 22.0);
+        let f = cpu.max_frequency(v);
+        let (e_dyn, e_leak) = cpu
+            .energy_breakdown(v)
+            .map(|b| (b.dynamic.value() * 1e12, b.leakage.value() * 1e12))
+            .unwrap_or((f64::NAN, f64::NAN));
+        let e_sys = mep::system_energy_per_cycle(&cpu, &sc, v_in, v)
+            .map(|e| format!("{:.1}", e.value() * 1e12))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            f3(v.volts()),
+            format!("{:.2}", f.hertz() / 1e9),
+            format!("{e_dyn:.1}"),
+            format!("{e_leak:.1}"),
+            e_sys,
+        ]);
+    }
+    print_series(
+        "Fig. 11a: speed and energy contributors vs Vdd",
+        &["Vdd (V)", "f (GHz)", "E_dyn (pJ)", "E_leak (pJ)", "E_sys (pJ)"],
+        &rows,
+    );
+    let conv = cpu.conventional_mep().unwrap();
+    let holistic = mep::system_mep(&cpu, &sc, v_in).unwrap();
+    println!(
+        "[fig11a] conventional MEP {:.3} V; MEP w/ regulator {:.3} V (paper shows the regulated MEP above the conventional one)",
+        conv.vdd.volts(),
+        holistic.vdd.volts()
+    );
+}
+
+struct DemoOutcome {
+    active_ms: f64,
+    harvested_uj: f64,
+    completed: usize,
+}
+
+fn run_demo(controller: &mut dyn Controller, beta_note: &str) -> DemoOutcome {
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let light = LightProfile::step(
+        Irradiance::FULL_SUN,
+        Irradiance::QUARTER_SUN,
+        Seconds::from_milli(2.0),
+    );
+    // Start just below the dimmed cell's MPP so the discharge transit runs
+    // through the region where harvested power rises with node voltage —
+    // the regime Fig. 11b's measured waveform shows (1.2 V down to 0.5 V,
+    // mostly below the new MPP).
+    let mut sim = Simulation::new(config, light, Volts::new(1.0)).expect("valid sim");
+    sim.enqueue(Job::new(Cycles::new(8.0e6)));
+    let summary = sim.run(controller, Seconds::from_milli(60.0));
+    let _ = beta_note;
+    DemoOutcome {
+        active_ms: summary.ledger.active_time.to_milli(),
+        harvested_uj: summary.ledger.harvested.to_micro(),
+        completed: summary.completed_jobs,
+    }
+}
+
+fn fig11b() {
+    let deadline = Seconds::from_milli(60.0);
+    // Conventional: fixed 0.55 V through the regulator, no bypass, no sprint.
+    let mut conventional = FixedVoltageController::new(Volts::new(0.55));
+    let conv = run_demo(&mut conventional, "conventional");
+    // Holistic without sprinting (beta = 0): bypass only.
+    let mut no_sprint = HolisticController::paper_default(Mode::Deadline {
+        deadline,
+        beta: 0.0,
+    });
+    let flat = run_demo(&mut no_sprint, "bypass only");
+    // Full holistic: sprint at 20 % + bypass.
+    let mut holistic = HolisticController::paper_default(Mode::Deadline {
+        deadline,
+        beta: 0.2,
+    });
+    let full = run_demo(&mut holistic, "sprint+bypass");
+
+    let rows = vec![
+        vec![
+            "conventional (fixed 0.55 V)".to_string(),
+            format!("{:.1}", conv.active_ms),
+            format!("{:.1}", conv.harvested_uj),
+            conv.completed.to_string(),
+        ],
+        vec![
+            "holistic, bypass only".to_string(),
+            format!("{:.1}", flat.active_ms),
+            format!("{:.1}", flat.harvested_uj),
+            flat.completed.to_string(),
+        ],
+        vec![
+            "holistic, sprint 20% + bypass".to_string(),
+            format!("{:.1}", full.active_ms),
+            format!("{:.1}", full.harvested_uj),
+            full.completed.to_string(),
+        ],
+    ];
+    print_series(
+        "Fig. 11b: dimming-light operation (paper: bypass extends operation ~20%, sprint absorbs ~10% more solar)",
+        &["controller", "active (ms)", "harvested (uJ)", "jobs done"],
+        &rows,
+    );
+    println!(
+        "[fig11b] operation extension vs conventional: {} | extra solar vs bypass-only: {}",
+        pct(full.active_ms / conv.active_ms - 1.0),
+        pct(full.harvested_uj / flat.harvested_uj - 1.0),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    fig11a();
+    fig11b();
+    c.bench_function("fig11/system_demo_run", |b| {
+        b.iter(|| {
+            let mut ctl = HolisticController::paper_default(Mode::Deadline {
+                deadline: Seconds::from_milli(60.0),
+                beta: 0.2,
+            });
+            black_box(run_demo(&mut ctl, "bench").active_ms)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 2 — solar cell I-V curves under variable light conditions.
+//!
+//! The paper measures the IXYS cell outdoors and indoors; we regenerate the
+//! same family of curves from the calibrated single-diode model: outdoor
+//! strong sun, 50 %, 25 %, overcast and indoor light.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_pv::{Irradiance, SolarCell};
+use hems_units::Volts;
+use std::hint::black_box;
+
+fn regenerate() -> Vec<Vec<String>> {
+    let conditions = [
+        ("full sun", Irradiance::FULL_SUN),
+        ("half sun", Irradiance::HALF_SUN),
+        ("quarter sun", Irradiance::QUARTER_SUN),
+        ("overcast", Irradiance::OVERCAST),
+        ("indoor", Irradiance::INDOOR),
+    ];
+    let mut rows = Vec::new();
+    for (name, g) in conditions {
+        let cell = SolarCell::kxob22(g);
+        let voc = cell.open_circuit_voltage();
+        let isc = cell.short_circuit_current();
+        let mpp = cell.mpp().ok();
+        for i in 0..=14 {
+            let v = Volts::new(voc.volts() * i as f64 / 14.0);
+            let iv = cell.current_at(v);
+            rows.push(vec![
+                name.to_string(),
+                f3(v.volts()),
+                format!("{:.2}", iv.to_milli()),
+            ]);
+        }
+        let (v_mpp, p_mpp) = mpp
+            .map(|m| (f3(m.voltage.volts()), format!("{:.2}", m.power.to_milli())))
+            .unwrap_or(("-".into(), "-".into()));
+        println!(
+            "[fig2] {name}: Voc={:.3} V, Isc={:.2} mA, MPP=({v_mpp} V, {p_mpp} mW)",
+            voc.volts(),
+            isc.to_milli()
+        );
+    }
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = regenerate();
+    print_series("Fig. 2: I-V curves vs light", &["condition", "V (V)", "I (mA)"], &rows);
+    c.bench_function("fig2/iv_curve_sampling", |b| {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        b.iter(|| black_box(cell.iv_curve(128)))
+    });
+    c.bench_function("fig2/mpp_search", |b| {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        b.iter(|| black_box(cell.mpp().unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 3 — LDO efficiency vs output voltage (45 % @ 0.55 V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_regulator::{EfficiencySweep, Ldo, Regulator};
+use hems_units::{Volts, Watts};
+use std::hint::black_box;
+
+fn regenerate() -> Vec<Vec<String>> {
+    let ldo = Ldo::paper_65nm();
+    let sweep = EfficiencySweep::sample(
+        &ldo,
+        Volts::new(1.2),
+        Volts::new(0.1),
+        Volts::new(1.1),
+        Watts::from_milli(10.0),
+        21,
+    )
+    .expect("valid sweep");
+    let anchor = ldo
+        .efficiency(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
+        .unwrap();
+    println!(
+        "[fig3] LDO at 0.55 V / 10 mW: {:.1}% (paper: 45%)",
+        anchor.percent()
+    );
+    sweep
+        .points()
+        .iter()
+        .map(|p| {
+            vec![
+                f3(p.v_out.volts()),
+                p.efficiency
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = regenerate();
+    print_series("Fig. 3: LDO efficiency", &["Vout (V)", "eta (%)"], &rows);
+    c.bench_function("fig3/ldo_sweep", |b| {
+        let ldo = Ldo::paper_65nm();
+        b.iter(|| {
+            black_box(
+                EfficiencySweep::sample(
+                    &ldo,
+                    Volts::new(1.2),
+                    Volts::new(0.1),
+                    Volts::new(1.1),
+                    Watts::from_milli(10.0),
+                    64,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

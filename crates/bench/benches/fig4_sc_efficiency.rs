@@ -1,0 +1,68 @@
+//! Fig. 4 — switched-capacitor regulator efficiency at full and half load
+//! (67 % / 64 % @ 0.55 V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_regulator::{EfficiencySweep, Regulator, ScRegulator};
+use hems_units::{Volts, Watts};
+use std::hint::black_box;
+
+fn regenerate() -> Vec<Vec<String>> {
+    let sc = ScRegulator::paper_65nm();
+    let mut rows = Vec::new();
+    for (name, p) in [("full (10 mW)", 10.0), ("half (5 mW)", 5.0)] {
+        let sweep = EfficiencySweep::sample(
+            &sc,
+            Volts::new(1.2),
+            Volts::new(0.15),
+            Volts::new(1.0),
+            Watts::from_milli(p),
+            18,
+        )
+        .expect("valid sweep");
+        for point in sweep.points() {
+            rows.push(vec![
+                name.to_string(),
+                f3(point.v_out.volts()),
+                point
+                    .efficiency
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        let anchor = sc
+            .efficiency(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(p))
+            .unwrap();
+        println!(
+            "[fig4] SC at 0.55 V / {name}: {:.1}% (paper: {})",
+            anchor.percent(),
+            if p == 10.0 { "67%" } else { "64%" }
+        );
+    }
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = regenerate();
+    print_series(
+        "Fig. 4: SC regulator efficiency",
+        &["load", "Vout (V)", "eta (%)"],
+        &rows,
+    );
+    c.bench_function("fig4/sc_convert", |b| {
+        let sc = ScRegulator::paper_65nm();
+        b.iter(|| {
+            black_box(
+                sc.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Fig. 5 — buck regulator efficiency at full and half load
+//! (63 % / 58 % @ 0.55 V), plus the SC-vs-buck load crossover the text of
+//! Section III describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_regulator::{BuckRegulator, EfficiencySweep, Regulator, ScRegulator};
+use hems_units::{Volts, Watts};
+use std::hint::black_box;
+
+fn regenerate() -> Vec<Vec<String>> {
+    let buck = BuckRegulator::paper_65nm();
+    let mut rows = Vec::new();
+    for (name, p) in [("full (10 mW)", 10.0), ("half (5 mW)", 5.0)] {
+        let sweep = EfficiencySweep::sample(
+            &buck,
+            Volts::new(1.2),
+            Volts::new(0.25),
+            Volts::new(0.85),
+            Watts::from_milli(p),
+            13,
+        )
+        .expect("valid sweep");
+        for point in sweep.points() {
+            rows.push(vec![
+                name.to_string(),
+                f3(point.v_out.volts()),
+                point
+                    .efficiency
+                    .map(|e| format!("{:.1}", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        let anchor = buck
+            .efficiency(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(p))
+            .unwrap();
+        println!(
+            "[fig5] buck at 0.55 V / {name}: {:.1}% (paper: {})",
+            anchor.percent(),
+            if p == 10.0 { "63%" } else { "58%" }
+        );
+    }
+    // Section III trend: buck overtakes SC at high output power.
+    let sc = ScRegulator::paper_65nm();
+    for p_mw in [3.0, 10.0, 20.0, 40.0] {
+        let eta = |r: &dyn Regulator| {
+            r.efficiency(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(p_mw))
+                .unwrap()
+                .percent()
+        };
+        println!(
+            "[fig5] load {p_mw:>5.1} mW: SC {:.1}% vs buck {:.1}% -> {}",
+            eta(&sc),
+            eta(&buck),
+            if eta(&buck) > eta(&sc) { "buck wins" } else { "SC wins" }
+        );
+    }
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = regenerate();
+    print_series(
+        "Fig. 5: buck regulator efficiency",
+        &["load", "Vout (V)", "eta (%)"],
+        &rows,
+    );
+    c.bench_function("fig5/buck_convert", |b| {
+        let buck = BuckRegulator::paper_65nm();
+        b.iter(|| {
+            black_box(
+                buck.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

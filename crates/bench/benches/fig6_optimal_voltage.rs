@@ -1,0 +1,84 @@
+//! Fig. 6 — the holistic optimal voltage point (eqs. 1–4).
+//!
+//! (a) The solar P-V curve vs the processor's max-speed P-V curve and
+//!     their unregulated intersection.
+//! (b) The regulated optimum per regulator, with the headline "+31 %
+//!     power / +18 % speed" SC numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, mw, print_series};
+use hems_core::analysis;
+use hems_cpu::Microprocessor;
+use hems_pv::{Irradiance, SolarCell};
+use hems_units::Volts;
+use std::hint::black_box;
+
+fn regenerate() {
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let cpu = Microprocessor::paper_65nm();
+
+    // Fig. 6a: the two power-voltage curves.
+    let mut rows = Vec::new();
+    for i in 0..=20 {
+        let v = Volts::new(0.45 + (1.45 - 0.45) * i as f64 / 20.0);
+        let p_solar = cell.power_at(v);
+        let p_cpu = cpu
+            .power_at_max_speed(v)
+            .map(mw)
+            .unwrap_or_else(|_| "-".into());
+        rows.push(vec![f3(v.volts()), mw(p_solar), p_cpu]);
+    }
+    print_series(
+        "Fig. 6a: power-voltage curves (full sun)",
+        &["V (V)", "P_solar (mW)", "P_cpu@max (mW)"],
+        &rows,
+    );
+
+    // Fig. 6b: per-regulator optimum vs the unregulated intersection.
+    let analysis = analysis::fig6(&cell, &cpu).expect("full sun is feasible");
+    let u = analysis.unregulated;
+    println!(
+        "[fig6] unregulated: {:.3} V, {:.1} MHz, {:.2} mW",
+        u.vdd.volts(),
+        u.frequency.to_mega(),
+        u.power.to_milli()
+    );
+    let mut rows = Vec::new();
+    for (kind, plan) in &analysis.plans {
+        rows.push(vec![
+            kind.to_string(),
+            f3(plan.vdd.volts()),
+            format!("{:.1}", plan.frequency.to_mega()),
+            mw(plan.p_cpu),
+            format!("{:+.1}%", (plan.power_gain_vs(&u) - 1.0) * 100.0),
+            format!("{:+.1}%", (plan.speedup_vs(&u) - 1.0) * 100.0),
+        ]);
+    }
+    print_series(
+        "Fig. 6b: optimal regulated plans vs unregulated (paper: SC +31% power, +18% speed)",
+        &["regulator", "Vdd (V)", "f (MHz)", "P_cpu (mW)", "power", "speed"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let cpu = Microprocessor::paper_65nm();
+    c.bench_function("fig6/full_analysis", |b| {
+        b.iter(|| black_box(analysis::fig6(&cell, &cpu).unwrap()))
+    });
+    c.bench_function("fig6/optimal_plan_sc", |b| {
+        let sc = hems_regulator::ScRegulator::paper_65nm();
+        b.iter(|| {
+            black_box(hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Fig. 7 — (a) regulated vs bypass deliverable power across light levels,
+//! (b) conventional vs holistic minimum-energy point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, mw, pct, print_series};
+use hems_core::{analysis, mep, BypassPolicy};
+use hems_cpu::Microprocessor;
+use hems_pv::{Irradiance, SolarCellModel};
+use hems_regulator::ScRegulator;
+use hems_units::Volts;
+use std::hint::black_box;
+
+fn regenerate() {
+    let model = SolarCellModel::kxob22();
+    let cpu = Microprocessor::paper_65nm();
+    let sc = ScRegulator::paper_65nm();
+
+    // Fig. 7a: path comparison across light.
+    let lights = [
+        Irradiance::FULL_SUN,
+        Irradiance::new(0.75).unwrap(),
+        Irradiance::HALF_SUN,
+        Irradiance::new(0.375).unwrap(),
+        Irradiance::QUARTER_SUN,
+        Irradiance::new(0.15).unwrap(),
+        Irradiance::OVERCAST,
+    ];
+    let rows: Vec<Vec<String>> = analysis::fig7a(&model, &sc, &cpu, &lights)
+        .iter()
+        .map(|cmp| {
+            vec![
+                cmp.irradiance.to_string(),
+                mw(cmp.regulated),
+                mw(cmp.bypassed),
+                if cmp.bypass_wins() { "bypass" } else { "regulated" }.to_string(),
+            ]
+        })
+        .collect();
+    print_series(
+        "Fig. 7a: deliverable CPU power per path (paper: bypass wins under ~25% light)",
+        &["light", "regulated (mW)", "bypassed (mW)", "winner"],
+        &rows,
+    );
+    if let Ok(policy) = BypassPolicy::calibrate(
+        &model,
+        &sc,
+        &cpu,
+        Irradiance::new(0.05).unwrap(),
+        Irradiance::FULL_SUN,
+    ) {
+        println!("[fig7a] calibrated bypass crossover: {}", policy.crossover());
+    }
+
+    // Fig. 7b: MEP comparison per regulator.
+    let v_in = Volts::new(1.1); // full-sun MPP rail
+    let rows: Vec<Vec<String>> = analysis::fig7b(&cpu, v_in)
+        .iter()
+        .map(|(kind, cmp)| {
+            vec![
+                kind.to_string(),
+                f3(cmp.conventional.vdd.volts()),
+                f3(cmp.holistic.vdd.volts()),
+                format!("{:+.0} mV", cmp.voltage_shift().to_milli()),
+                pct(cmp.energy_savings()),
+            ]
+        })
+        .collect();
+    print_series(
+        "Fig. 7b: conventional vs holistic MEP (paper: +0.1 V shift, 31% savings)",
+        &["regulator", "conv MEP (V)", "holistic MEP (V)", "shift", "savings"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cpu = Microprocessor::paper_65nm();
+    let sc = ScRegulator::paper_65nm();
+    c.bench_function("fig7/mep_comparison", |b| {
+        b.iter(|| black_box(mep::compare_meps(&cpu, &sc, Volts::new(1.1)).unwrap()))
+    });
+    c.bench_function("fig7/bypass_compare_quarter_sun", |b| {
+        let model = SolarCellModel::kxob22();
+        b.iter(|| {
+            black_box(BypassPolicy::compare_at(
+                &model,
+                &sc,
+                &cpu,
+                Irradiance::QUARTER_SUN,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

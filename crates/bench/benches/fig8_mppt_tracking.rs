@@ -1,0 +1,116 @@
+//! Fig. 8 — the proposed time-based MPP tracking scheme.
+//!
+//! Reproduces the Virtuoso transient of the paper: the light dims suddenly,
+//! the solar node discharges through the comparator thresholds `V1 = 1.0 V`
+//! and `V2 = 0.9 V`, and the tracker infers the new input power from the
+//! crossing time (eq. 7), then retargets the MPP via the lookup table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_mppt::{MppTracker, Observation, TimeBasedTracker};
+use hems_pv::{Irradiance, SolarCell};
+use hems_storage::{Capacitor, ComparatorBank};
+use hems_units::{Efficiency, Seconds, Volts, Watts};
+use std::hint::black_box;
+
+struct StepOutcome {
+    estimate_mw: f64,
+    truth_mw: f64,
+    target_v: f64,
+    true_mpp_v: f64,
+    waveform: Vec<(f64, f64)>,
+}
+
+fn run_step(g_after: Irradiance, p_drawn_mw: f64) -> StepOutcome {
+    let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.1)).unwrap();
+    let mut bank = ComparatorBank::new(
+        &[Volts::new(1.0), Volts::new(0.9)],
+        Volts::from_milli(2.0),
+    )
+    .unwrap();
+    let mut tracker = TimeBasedTracker::paper_default();
+    let p_drawn = Watts::from_milli(p_drawn_mw);
+    let dt = Seconds::from_micro(50.0);
+    cell.set_irradiance(g_after);
+    let mut waveform = Vec::new();
+    let mut first_estimate = None;
+    for i in 0..20_000u64 {
+        let now = Seconds::new(i as f64 * dt.seconds());
+        let v = cap.voltage();
+        if i % 40 == 0 {
+            waveform.push((now.to_milli(), v.volts()));
+        }
+        let p_harvest = cell.power_at(v);
+        cap.step_power(p_harvest - p_drawn, dt);
+        let crossings = bank.update(cap.voltage(), now);
+        let mut obs = Observation::basic(now, cap.voltage(), p_drawn, Efficiency::UNITY);
+        obs.crossings = crossings;
+        tracker.update(&obs);
+        if let Some(est) = tracker.last_estimate() {
+            first_estimate = Some(est);
+            break;
+        }
+    }
+    let estimate = first_estimate.expect("discharge should complete");
+    let truth = SolarCell::kxob22(g_after).power_at(Volts::new(0.95));
+    let mpp = SolarCell::kxob22(g_after).mpp().unwrap();
+    StepOutcome {
+        estimate_mw: estimate.to_milli(),
+        truth_mw: truth.to_milli(),
+        target_v: tracker.target().volts(),
+        true_mpp_v: mpp.voltage.volts(),
+        waveform,
+    }
+}
+
+fn regenerate() {
+    let mut rows = Vec::new();
+    for (name, g, p) in [
+        ("-> half sun", Irradiance::HALF_SUN, 10.0),
+        ("-> quarter sun", Irradiance::QUARTER_SUN, 8.0),
+        ("-> overcast", Irradiance::OVERCAST, 6.0),
+    ] {
+        let out = run_step(g, p);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", out.estimate_mw),
+            format!("{:.2}", out.truth_mw),
+            format!("{:.1}%", (out.estimate_mw / out.truth_mw - 1.0).abs() * 100.0),
+            f3(out.target_v),
+            f3(out.true_mpp_v),
+        ]);
+    }
+    print_series(
+        "Fig. 8: time-based Pin estimation after a light step (eq. 7)",
+        &["step", "est Pin (mW)", "true Pin (mW)", "err", "LUT target (V)", "true MPP (V)"],
+        &rows,
+    );
+    // Fig. 8c-style waveform of the quarter-sun step.
+    let out = run_step(Irradiance::QUARTER_SUN, 8.0);
+    let rows: Vec<Vec<String>> = out
+        .waveform
+        .iter()
+        .map(|(t, v)| vec![format!("{t:.1}"), f3(*v)])
+        .collect();
+    print_series(
+        "Fig. 8c: solar node discharge waveform (quarter-sun step)",
+        &["t (ms)", "V_solar (V)"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig8/light_step_tracking", |b| {
+        b.iter(|| black_box(run_step(Irradiance::QUARTER_SUN, 8.0).estimate_mw))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

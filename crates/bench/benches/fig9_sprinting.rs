@@ -1,0 +1,113 @@
+//! Fig. 9 — (a) energy required vs available as a function of completion
+//! time (eqs. 8–11), and (b) the sprinting operation's extra solar intake
+//! (eqs. 12–13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, pct, print_series};
+use hems_core::deadline::DeadlineSolver;
+use hems_core::SprintPlan;
+use hems_cpu::Microprocessor;
+use hems_pv::{Irradiance, SolarCell};
+use hems_regulator::ScRegulator;
+use hems_storage::Capacitor;
+use hems_units::{Cycles, Seconds, Volts, Watts};
+use std::hint::black_box;
+
+fn regenerate() {
+    // Fig. 9a: the two energy curves and their intersection.
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let sc = ScRegulator::paper_65nm();
+    let cpu = Microprocessor::paper_65nm();
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.2)).unwrap();
+    let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+    let n = Cycles::new(10.0e6);
+    let mut rows = Vec::new();
+    for i in 1..=12 {
+        let t = Seconds::from_milli(10.0 * i as f64);
+        let e_in = solver
+            .required_energy(n, t)
+            .map(|e| format!("{:.1}", e.to_micro()))
+            .unwrap_or_else(|_| "-".into());
+        let e_avail = solver
+            .available_energy(t)
+            .map(|e| format!("{:.1}", e.to_micro()))
+            .unwrap_or_else(|_| "-".into());
+        rows.push(vec![format!("{:.0}", t.to_milli()), e_in, e_avail]);
+    }
+    print_series(
+        "Fig. 9a: energy required vs available (10 Mcycle job, full sun)",
+        &["T (ms)", "E_in (uJ)", "E_avail (uJ)"],
+        &rows,
+    );
+    if let Ok(plan) = solver.solve(n) {
+        println!(
+            "[fig9a] intersection: T* = {:.1} ms at Vdd = {:.3} V ({:.1} MHz)",
+            plan.completion_time.to_milli(),
+            plan.vdd.volts(),
+            plan.frequency.to_mega()
+        );
+    }
+
+    // Fig. 9b: sprint factor sweep on the dimmed-light transient.
+    let dim_cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.2)).unwrap();
+    let mut rows = Vec::new();
+    for beta in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let plan = SprintPlan::new(
+            beta,
+            Seconds::from_milli(30.0),
+            Watts::from_milli(6.0),
+        )
+        .unwrap();
+        let cmp = plan.compare_against_constant(&dim_cell, &cap, Seconds::from_micro(20.0));
+        rows.push(vec![
+            f3(beta),
+            format!("{:.1}", cmp.e_solar_constant.to_micro()),
+            format!("{:.1}", cmp.e_solar_sprint.to_micro()),
+            pct(cmp.extra_energy_fraction()),
+            f3(cmp.v_end_sprint.volts()),
+        ]);
+    }
+    print_series(
+        "Fig. 9b: sprinting extra solar energy vs beta (paper: ~10% at beta=0.2)",
+        &["beta", "E_const (uJ)", "E_sprint (uJ)", "gain", "V_end (V)"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let sc = ScRegulator::paper_65nm();
+    let cpu = Microprocessor::paper_65nm();
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.2)).unwrap();
+    c.bench_function("fig9/deadline_solve", |b| {
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        b.iter(|| black_box(solver.solve(Cycles::new(10.0e6)).unwrap()))
+    });
+    c.bench_function("fig9/sprint_comparison", |b| {
+        let dim_cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+        let plan = SprintPlan::paper_20_percent(
+            Seconds::from_milli(30.0),
+            Watts::from_milli(6.0),
+        )
+        .unwrap();
+        b.iter(|| {
+            black_box(plan.compare_against_constant(
+                &dim_cell,
+                &cap,
+                Seconds::from_micro(50.0),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

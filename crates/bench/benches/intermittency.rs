@@ -1,0 +1,93 @@
+//! Extension ablation: checkpoint policy × NVM technology under the
+//! brownouts the holistic system still experiences.
+//!
+//! Not a paper figure — the paper's Section I cites the intermittent-
+//! computing line of work (Hibernus, Alpaca) as the software context of
+//! battery-less operation; this bench quantifies how the checkpointing
+//! design space interacts with the energy-management layer built here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::{f3, print_series};
+use hems_core::{HolisticController, Mode};
+use hems_intermittent::{CheckpointPolicy, IntermittentRuntime, NvmModel, Task, TaskChain};
+use hems_pv::Irradiance;
+use hems_sim::{LightProfile, Simulation, SystemConfig};
+use hems_units::{Cycles, Seconds, Volts};
+use std::hint::black_box;
+
+fn batch_chain() -> TaskChain {
+    let mut tasks = Vec::new();
+    for i in 0..8 {
+        tasks.push(Task::new(format!("scan-{i}"), Cycles::new(170_000.0), 2_048));
+        tasks.push(Task::new(
+            format!("process-{i}"),
+            Cycles::new(875_000.0),
+            512,
+        ));
+    }
+    tasks.push(Task::new("report", Cycles::new(10_000.0), 16));
+    TaskChain::new(tasks).expect("valid chain")
+}
+
+fn run_policy(policy: CheckpointPolicy, nvm: NvmModel) -> hems_intermittent::ForwardProgress {
+    let mut runtime = IntermittentRuntime::new(batch_chain(), policy, nvm);
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let light = LightProfile::clouds(
+        Irradiance::DARK,
+        Irradiance::FULL_SUN,
+        Seconds::from_milli(400.0),
+        Seconds::new(4.0),
+        31,
+    );
+    let mut sim = Simulation::new(config, light, Volts::new(1.0)).expect("valid sim");
+    let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
+    runtime.run(&mut sim, &mut ctl, Seconds::new(4.0))
+}
+
+fn regenerate() {
+    let mut rows = Vec::new();
+    let policies: [(&str, CheckpointPolicy); 4] = [
+        ("every task", CheckpointPolicy::EveryTask),
+        ("every 4 tasks", CheckpointPolicy::EveryNTasks(4)),
+        (
+            "below 0.8 V",
+            CheckpointPolicy::OnLowVoltage {
+                threshold: Volts::new(0.8),
+            },
+        ),
+        ("chain restart", CheckpointPolicy::ChainBoundary),
+    ];
+    for (nvm_name, nvm) in [("FRAM", NvmModel::fram()), ("flash", NvmModel::flash())] {
+        for (name, policy) in policies {
+            let r = run_policy(policy, nvm);
+            rows.push(vec![
+                nvm_name.to_string(),
+                name.to_string(),
+                r.chain_completions.to_string(),
+                f3(r.goodput()),
+                format!("{:.2}", r.wasted_cycles.count() / 1e6),
+                format!("{:.2}", r.checkpoint_cycles.count() / 1e6),
+                r.rollbacks.to_string(),
+            ]);
+        }
+    }
+    print_series(
+        "Intermittency ablation: checkpoint policy x NVM under cloud-driven brownouts",
+        &["NVM", "policy", "batches", "goodput", "wasted (Mcyc)", "ckpt (Mcyc)", "rollbacks"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("intermittency/every_task_fram", |b| {
+        b.iter(|| black_box(run_policy(CheckpointPolicy::EveryTask, NvmModel::fram())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! Deadline-constrained operation (paper Section VI-B, eqs. 8–11, Fig. 9a).
+//!
+//! A job of `N` cycles finished in time `T` forces the clock `f = N/T`,
+//! which forces the supply voltage through the frequency law (eq. 9/10) and
+//! hence the energy drawn from the source (eq. 8):
+//!
+//! ```text
+//! E_in(T) = N · (C_s V(T)² + P_leak(V)/f) / η
+//! ```
+//!
+//! — a *decreasing* function of `T` (slower is cheaper). The energy
+//! *available* by `T` (eq. 11) is the capacitor's usable charge plus the
+//! solar intake, an *increasing* function of `T`. Where the two curves
+//! intersect is the fastest achievable completion time (Fig. 9a's
+//! "Completion Time").
+
+use crate::CoreError;
+use hems_cpu::Microprocessor;
+use hems_pv::SolarCell;
+use hems_regulator::Regulator;
+use hems_storage::Capacitor;
+use hems_units::{solve, Cycles, Hertz, Joules, Seconds, Volts};
+
+/// The energy budget curves and their intersection for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlinePlan {
+    /// The job size.
+    pub cycles: Cycles,
+    /// The fastest achievable completion time.
+    pub completion_time: Seconds,
+    /// The supply voltage required to finish exactly at that time.
+    pub vdd: Volts,
+    /// The clock required.
+    pub frequency: Hertz,
+    /// Source energy required at the intersection (eq. 10).
+    pub e_required: Joules,
+    /// Energy available by the intersection (eq. 11).
+    pub e_available: Joules,
+}
+
+/// The planner: a (cell, regulator, processor, capacitor) system plus the
+/// usable voltage floor.
+pub struct DeadlineSolver<'a> {
+    cell: &'a SolarCell,
+    regulator: &'a dyn Regulator,
+    cpu: &'a Microprocessor,
+    capacitor: &'a Capacitor,
+    v_floor: Volts,
+}
+
+impl<'a> DeadlineSolver<'a> {
+    /// Builds a solver. `v_floor` is the node voltage below which operation
+    /// halts (capacitor charge below it is unusable).
+    pub fn new(
+        cell: &'a SolarCell,
+        regulator: &'a dyn Regulator,
+        cpu: &'a Microprocessor,
+        capacitor: &'a Capacitor,
+        v_floor: Volts,
+    ) -> DeadlineSolver<'a> {
+        DeadlineSolver {
+            cell,
+            regulator,
+            cpu,
+            capacitor,
+            v_floor,
+        }
+    }
+
+    /// The supply voltage and clock needed to finish `cycles` in `t`
+    /// (eq. 9 inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when the required clock exceeds the
+    /// processor's capability.
+    pub fn required_point(&self, cycles: Cycles, t: Seconds) -> Result<(Volts, Hertz), CoreError> {
+        let f = cycles / t;
+        let op = self
+            .cpu
+            .point_for_frequency(f)
+            .map_err(|e| CoreError::component("processor", e))?;
+        Ok((op.vdd, f))
+    }
+
+    /// Source energy required to finish `cycles` in `t` (eqs. 8–10): CPU
+    /// energy at the required point divided by the regulator efficiency
+    /// from the MPP rail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] for unachievable clocks and
+    /// propagates regulator errors.
+    pub fn required_energy(&self, cycles: Cycles, t: Seconds) -> Result<Joules, CoreError> {
+        let (vdd, f) = self.required_point(cycles, t)?;
+        let p_cpu = self.cpu.power_model().total(vdd, f);
+        let e_cpu = p_cpu * t;
+        let v_in = self
+            .cell
+            .mpp()
+            .map_err(|e| CoreError::component("solar cell", e))?
+            .voltage;
+        let eta = self
+            .regulator
+            .efficiency(v_in, vdd, p_cpu)
+            .map_err(|e| CoreError::component("regulator", e))?;
+        if eta.ratio() <= 0.0 {
+            return Err(CoreError::infeasible(
+                "deadline energy",
+                "regulator efficiency is zero at the required point".to_string(),
+            ));
+        }
+        Ok(Joules::new(e_cpu.joules() / eta.ratio()))
+    }
+
+    /// Energy available by time `t` (eq. 11): the capacitor's usable charge
+    /// above the floor plus the MPP solar intake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MPP-search failures (darkness).
+    pub fn available_energy(&self, t: Seconds) -> Result<Joules, CoreError> {
+        let v0 = self.capacitor.voltage();
+        let usable = self.capacitor.capacitance().stored_energy(v0)
+            - self.capacitor.capacitance().stored_energy(self.v_floor.min(v0));
+        let p_mpp = self
+            .cell
+            .mpp()
+            .map_err(|e| CoreError::component("solar cell", e))?
+            .power;
+        Ok(usable + p_mpp * t)
+    }
+
+    /// Solves for the fastest achievable completion time of `cycles` —
+    /// the intersection of the two curves of Fig. 9a.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when the job is unachievable even
+    /// at the relaxed end of the search window.
+    pub fn solve(&self, cycles: Cycles) -> Result<DeadlinePlan, CoreError> {
+        // The fastest physically possible time (clock at window top), with
+        // a hair of slack so the boundary point itself stays solvable.
+        let f_top = self.cpu.max_frequency(self.cpu.v_max());
+        let t_min = (cycles / f_top).seconds() * (1.0 + 1e-6);
+        // A generous upper bound: running at v_min.
+        let f_bot = self.cpu.max_frequency(self.cpu.v_min());
+        let t_max = (cycles / f_bot).seconds();
+        // Unsolvable sample points read as "requires a huge finite energy"
+        // so bisection can still bracket against them.
+        const UNSOLVABLE: f64 = 1e30;
+        let gap = |t: f64| -> f64 {
+            let t = Seconds::new(t);
+            let required = match self.required_energy(cycles, t) {
+                Ok(e) => e.joules(),
+                Err(_) => return UNSOLVABLE,
+            };
+            let available = match self.available_energy(t) {
+                Ok(e) => e.joules(),
+                Err(_) => return UNSOLVABLE,
+            };
+            required - available
+        };
+        if gap(t_max) > 0.0 {
+            return Err(CoreError::infeasible(
+                "deadline",
+                format!(
+                    "even at the slowest sustainable clock the job needs more \
+                     energy than arrives by t = {t_max:.3} s"
+                ),
+            ));
+        }
+        let t_star = if gap(t_min) <= 0.0 {
+            // Plentiful energy: the processor's own top speed is the limit.
+            t_min
+        } else {
+            solve::bisect(gap, t_min, t_max, 1e-9)?
+        };
+        let t = Seconds::new(t_star);
+        let (vdd, frequency) = self.required_point(cycles, t)?;
+        Ok(DeadlinePlan {
+            cycles,
+            completion_time: t,
+            vdd,
+            frequency,
+            e_required: self.required_energy(cycles, t)?,
+            e_available: self.available_energy(t)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::Irradiance;
+    use hems_regulator::ScRegulator;
+
+    fn fixtures(v0: f64, g: Irradiance) -> (SolarCell, ScRegulator, Microprocessor, Capacitor) {
+        let cell = SolarCell::kxob22(g);
+        let mut cap = Capacitor::paper_board();
+        cap.set_voltage(Volts::new(v0)).unwrap();
+        (cell, ScRegulator::paper_65nm(), Microprocessor::paper_65nm(), cap)
+    }
+
+    #[test]
+    fn required_energy_decreases_with_time() {
+        // Fig. 9a's E_in curve: pushing completion time out lowers the
+        // required energy.
+        let (cell, sc, cpu, cap) = fixtures(1.2, Irradiance::FULL_SUN);
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        let n = Cycles::new(5.0e6);
+        let fast = solver
+            .required_energy(n, Seconds::from_milli(10.0))
+            .unwrap();
+        let slow = solver
+            .required_energy(n, Seconds::from_milli(60.0))
+            .unwrap();
+        assert!(fast > slow, "fast {fast:?} <= slow {slow:?}");
+    }
+
+    #[test]
+    fn available_energy_increases_with_time() {
+        let (cell, sc, cpu, cap) = fixtures(1.2, Irradiance::FULL_SUN);
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        let early = solver.available_energy(Seconds::from_milli(5.0)).unwrap();
+        let late = solver.available_energy(Seconds::from_milli(50.0)).unwrap();
+        assert!(late > early);
+        // The capacitor's usable part alone: ½C(1.2² - 0.5²) = 59.5 µJ.
+        let at_zero = solver.available_energy(Seconds::ZERO).unwrap();
+        assert!((at_zero.to_micro() - 59.5).abs() < 0.5, "{at_zero:?}");
+    }
+
+    #[test]
+    fn intersection_balances_the_curves() {
+        let (cell, sc, cpu, cap) = fixtures(1.2, Irradiance::FULL_SUN);
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        let n = Cycles::new(10.0e6);
+        let plan = solver.solve(n).unwrap();
+        let rel =
+            (plan.e_required - plan.e_available).abs().joules() / plan.e_available.joules();
+        // Either the curves balance (the bisected intersection) or the
+        // system was energy-rich and the clock ceiling binds instead.
+        assert!(
+            rel < 1e-3 || plan.vdd == cpu.v_max(),
+            "curves unbalanced by {rel} away from the clock ceiling"
+        );
+        // The plan's clock actually finishes the job in time.
+        let t_check = plan.cycles / plan.frequency;
+        assert!((t_check - plan.completion_time).abs() < Seconds::from_micro(1.0));
+    }
+
+    #[test]
+    fn dimmer_light_pushes_completion_later() {
+        let n = Cycles::new(20.0e6);
+        let (cell_f, sc, cpu, cap) = fixtures(1.2, Irradiance::FULL_SUN);
+        let full = DeadlineSolver::new(&cell_f, &sc, &cpu, &cap, Volts::new(0.5))
+            .solve(n)
+            .unwrap();
+        let (cell_h, sc, cpu, cap) = fixtures(1.2, Irradiance::HALF_SUN);
+        let half = DeadlineSolver::new(&cell_h, &sc, &cpu, &cap, Volts::new(0.5))
+            .solve(n)
+            .unwrap();
+        assert!(half.completion_time > full.completion_time);
+        assert!(half.vdd <= full.vdd);
+    }
+
+    #[test]
+    fn larger_capacitor_allows_faster_completion() {
+        let n = Cycles::new(20.0e6);
+        let (cell, sc, cpu, small_cap) = fixtures(1.2, Irradiance::HALF_SUN);
+        let small = DeadlineSolver::new(&cell, &sc, &cpu, &small_cap, Volts::new(0.5))
+            .solve(n)
+            .unwrap();
+        let mut big_cap = Capacitor::new(
+            hems_units::Farads::from_micro(1000.0),
+            Volts::new(1.6),
+        )
+        .unwrap();
+        big_cap.set_voltage(Volts::new(1.2)).unwrap();
+        let big = DeadlineSolver::new(&cell, &sc, &cpu, &big_cap, Volts::new(0.5))
+            .solve(n)
+            .unwrap();
+        assert!(big.completion_time <= small.completion_time);
+    }
+
+    #[test]
+    fn impossible_jobs_are_infeasible() {
+        // Indoor light, drained capacitor, huge job.
+        let (cell, sc, cpu, cap) = fixtures(0.55, Irradiance::INDOOR);
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        assert!(matches!(
+            solver.solve(Cycles::new(1.0e9)),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_clock_is_infeasible() {
+        let (cell, sc, cpu, cap) = fixtures(1.2, Irradiance::FULL_SUN);
+        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+        // 10 M cycles in 1 ms needs 10 GHz.
+        assert!(solver
+            .required_point(Cycles::new(10.0e6), Seconds::from_milli(1.0))
+            .is_err());
+    }
+}

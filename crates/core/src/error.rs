@@ -1,0 +1,88 @@
+use hems_units::SolveError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the holistic optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No feasible operating point exists under the given constraints
+    /// (e.g. the harvester cannot power the processor at any voltage).
+    Infeasible {
+        /// What was being optimized.
+        what: &'static str,
+        /// Why no solution exists.
+        reason: String,
+    },
+    /// An underlying numeric solver failed.
+    Solver(SolveError),
+    /// A sub-model rejected a query.
+    Component {
+        /// Which component.
+        which: &'static str,
+        /// Its error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible { what, reason } => {
+                write!(f, "{what} has no feasible solution: {reason}")
+            }
+            CoreError::Solver(e) => write!(f, "optimizer solver failed: {e}"),
+            CoreError::Component { which, message } => {
+                write!(f, "{which} rejected the query: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for CoreError {
+    fn from(e: SolveError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl CoreError {
+    /// Wraps a component error with its origin.
+    pub fn component(which: &'static str, err: impl fmt::Display) -> CoreError {
+        CoreError::Component {
+            which,
+            message: err.to_string(),
+        }
+    }
+
+    /// An infeasibility with context.
+    pub fn infeasible(what: &'static str, reason: impl Into<String>) -> CoreError {
+        CoreError::Infeasible {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::infeasible("optimal voltage", "dark");
+        assert!(e.to_string().contains("dark"));
+        assert!(e.source().is_none());
+        let e = CoreError::from(SolveError::BadBracket { lo: 1.0, hi: 0.0 });
+        assert!(e.source().is_some());
+        let e = CoreError::component("regulator", "nope");
+        assert!(e.to_string().contains("regulator"));
+    }
+}

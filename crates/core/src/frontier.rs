@@ -1,0 +1,251 @@
+//! The energy-performance frontier connecting the paper's two objectives.
+//!
+//! Section IV optimizes pure performance (eqs. 1–4) and Section V pure
+//! energy (eq. 5); real deployments live between them. This module sweeps
+//! every *sustainable* operating point — supply voltage plus the largest
+//! clock the MPP-constrained harvest can carry — and reports clock speed
+//! against energy-per-cycle drawn from the source, exposing the frontier a
+//! deployment can pick its trade-off from.
+
+use crate::CoreError;
+use hems_cpu::Microprocessor;
+use hems_pv::SolarCell;
+use hems_regulator::Regulator;
+use hems_units::{Hertz, Joules, Volts, Watts};
+
+/// One sustainable operating point on the frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Largest sustainable clock at this voltage under the MPP budget.
+    pub frequency: Hertz,
+    /// Fraction of the voltage's maximum clock that is sustainable.
+    pub clock_fraction: f64,
+    /// Power delivered into the core.
+    pub p_cpu: Watts,
+    /// Source energy per cycle (core energy / regulator efficiency).
+    pub energy_per_cycle: Joules,
+}
+
+/// Sweeps the sustainable frontier over `n` voltages across the processor
+/// window, holding the cell at its MPP through `regulator`.
+///
+/// Points where nothing is sustainable (regulator unreachable, or the
+/// harvest cannot even cover leakage) are omitted, so the result may be
+/// shorter than `n`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the cell is dark or `n < 2`.
+pub fn sustainable_frontier(
+    cell: &SolarCell,
+    regulator: &dyn Regulator,
+    cpu: &Microprocessor,
+    n: usize,
+) -> Result<Vec<FrontierPoint>, CoreError> {
+    if n < 2 {
+        return Err(CoreError::infeasible(
+            "frontier sweep",
+            "need at least two sample voltages".to_string(),
+        ));
+    }
+    let mpp = cell
+        .mpp()
+        .map_err(|e| CoreError::component("solar cell", e))?;
+    let mut points = Vec::new();
+    for i in 0..n {
+        let vdd = cpu.v_min()
+            + (cpu.v_max() - cpu.v_min()) * (i as f64 / (n - 1) as f64);
+        let Some(point) = sustainable_point(mpp.voltage, mpp.power, regulator, cpu, vdd) else {
+            continue;
+        };
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// The largest sustainable clock fraction at one voltage, or `None` when
+/// even the leakage floor cannot be covered.
+fn sustainable_point(
+    v_solar: Volts,
+    p_budget: Watts,
+    regulator: &dyn Regulator,
+    cpu: &Microprocessor,
+    vdd: Volts,
+) -> Option<FrontierPoint> {
+    let f_max = cpu.max_frequency(vdd);
+    if !f_max.is_positive() {
+        return None;
+    }
+    let drawn_at = |fraction: f64| -> Option<f64> {
+        let p_cpu = cpu.power_model().total(vdd, f_max * fraction);
+        regulator
+            .convert(v_solar, vdd, p_cpu)
+            .ok()
+            .map(|c| c.p_in.watts())
+    };
+    // Full speed already sustainable?
+    let fraction = if drawn_at(1.0)? <= p_budget.watts() {
+        1.0
+    } else {
+        // Bisect the sustainable fraction; if even ~zero clock over-draws
+        // (fixed losses + leakage exceed the budget), the point is dead.
+        if drawn_at(1e-6)? > p_budget.watts() {
+            return None;
+        }
+        let mut lo = 1e-6;
+        let mut hi = 1.0;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            match drawn_at(mid) {
+                Some(p) if p <= p_budget.watts() => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        lo
+    };
+    let frequency = f_max * fraction;
+    let p_cpu = cpu.power_model().total(vdd, frequency);
+    let conv = regulator.convert(v_solar, vdd, p_cpu).ok()?;
+    if !frequency.is_positive() {
+        return None;
+    }
+    Some(FrontierPoint {
+        vdd,
+        frequency,
+        clock_fraction: fraction,
+        p_cpu,
+        energy_per_cycle: Joules::new(conv.p_in.watts() / frequency.hertz()),
+    })
+}
+
+/// Reduces a frontier sweep to its Pareto-optimal subset: no other point is
+/// both faster and cheaper per cycle.
+pub fn pareto_front(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
+    let mut front: Vec<FrontierPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.frequency > p.frequency && q.energy_per_cycle <= p.energy_per_cycle)
+                || (q.frequency >= p.frequency && q.energy_per_cycle < p.energy_per_cycle)
+        });
+        if !dominated {
+            front.push(*p);
+        }
+    }
+    front.sort_by(|a, b| {
+        a.frequency
+            .partial_cmp(&b.frequency)
+            .expect("finite frequencies")
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mep, optimal_voltage};
+    use hems_pv::Irradiance;
+    use hems_regulator::ScRegulator;
+
+    fn sweep() -> Vec<FrontierPoint> {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let sc = ScRegulator::paper_65nm();
+        let cpu = Microprocessor::paper_65nm();
+        sustainable_frontier(&cell, &sc, &cpu, 64).unwrap()
+    }
+
+    #[test]
+    fn every_point_respects_the_budget() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let p_mpp = cell.mpp().unwrap().power;
+        let sc = ScRegulator::paper_65nm();
+        for p in sweep() {
+            let conv = sc
+                .convert(Volts::new(1.113), p.vdd, p.p_cpu)
+                .expect("point was produced from a valid conversion");
+            assert!(
+                conv.p_in <= p_mpp * 1.01,
+                "{:?} draws {:?} of {:?}",
+                p.vdd,
+                conv.p_in,
+                p_mpp
+            );
+        }
+    }
+
+    #[test]
+    fn fastest_point_matches_the_optimal_voltage_solver() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let cpu = Microprocessor::paper_65nm();
+        let sc = ScRegulator::paper_65nm();
+        let plan = optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).unwrap();
+        let fastest = sweep()
+            .into_iter()
+            .max_by(|a, b| a.frequency.partial_cmp(&b.frequency).unwrap())
+            .unwrap();
+        assert!(
+            (fastest.frequency.to_mega() - plan.frequency.to_mega()).abs()
+                < 0.05 * plan.frequency.to_mega(),
+            "frontier fastest {} vs solver {}",
+            fastest.frequency.to_mega(),
+            plan.frequency.to_mega()
+        );
+    }
+
+    #[test]
+    fn cheapest_point_is_near_the_holistic_mep() {
+        let cpu = Microprocessor::paper_65nm();
+        let sc = ScRegulator::paper_65nm();
+        let holistic = mep::system_mep(&cpu, &sc, Volts::new(1.113)).unwrap();
+        let cheapest = sweep()
+            .into_iter()
+            .min_by(|a, b| a.energy_per_cycle.partial_cmp(&b.energy_per_cycle).unwrap())
+            .unwrap();
+        // The frontier charges at max *sustainable* speed so its cheapest
+        // point sits near (not exactly at) the max-speed MEP.
+        assert!(
+            (cheapest.vdd - holistic.vdd).abs() < Volts::from_milli(100.0),
+            "cheapest at {} vs MEP {}",
+            cheapest.vdd,
+            holistic.vdd
+        );
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let front = pareto_front(&sweep());
+        assert!(front.len() >= 2);
+        // Along the front, more speed must cost more energy per cycle.
+        for w in front.windows(2) {
+            assert!(w[1].frequency > w[0].frequency);
+            assert!(w[1].energy_per_cycle >= w[0].energy_per_cycle);
+        }
+    }
+
+    #[test]
+    fn dark_cell_errors_and_tiny_sweeps_error() {
+        let cpu = Microprocessor::paper_65nm();
+        let sc = ScRegulator::paper_65nm();
+        let dark = SolarCell::kxob22(Irradiance::DARK);
+        assert!(sustainable_frontier(&dark, &sc, &cpu, 16).is_err());
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        assert!(sustainable_frontier(&cell, &sc, &cpu, 1).is_err());
+    }
+
+    #[test]
+    fn low_light_truncates_the_frontier() {
+        let cpu = Microprocessor::paper_65nm();
+        let sc = ScRegulator::paper_65nm();
+        let bright = sweep();
+        let dim_cell = SolarCell::kxob22(Irradiance::new(0.3).unwrap());
+        let dim = sustainable_frontier(&dim_cell, &sc, &cpu, 64).unwrap();
+        assert!(dim.len() < bright.len(), "dim {} vs bright {}", dim.len(), bright.len());
+        let f_max = |pts: &[FrontierPoint]| {
+            pts.iter()
+                .map(|p| p.frequency.to_mega())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(f_max(&dim) < f_max(&bright));
+    }
+}

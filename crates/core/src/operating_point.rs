@@ -1,0 +1,157 @@
+//! The unregulated operating point (paper Fig. 6a).
+//!
+//! With no regulator, the processor's supply rail *is* the solar node, so
+//! the system settles where the processor's max-speed power-voltage curve
+//! crosses the cell's power-voltage curve — inevitably below the cell's
+//! maximum power point, which is the inefficiency the regulated holistic
+//! plan (eqs. 1–4) removes.
+
+use crate::CoreError;
+use hems_cpu::Microprocessor;
+use hems_pv::SolarCell;
+use hems_units::{solve, Hertz, Volts, Watts};
+
+/// The steady-state operating point of a direct solar→processor connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnregulatedPoint {
+    /// The settled supply/node voltage.
+    pub vdd: Volts,
+    /// The clock speed achieved there.
+    pub frequency: Hertz,
+    /// The power flowing at the intersection.
+    pub power: Watts,
+}
+
+/// Solves for the unregulated operating point of `cpu` directly on `cell`.
+///
+/// The intersection is searched on the overlap of the processor window and
+/// the cell's voltage range. The balance `P_solar(V) - P_cpu(V)` is
+/// positive at low voltage (cell can over-supply a slow core) and negative
+/// at high voltage (fast core out-draws the cell), so a sign change brackets
+/// the root.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when the windows do not overlap or the
+/// cell cannot power the core even at the minimum operating voltage.
+pub fn unregulated_point(
+    cell: &SolarCell,
+    cpu: &Microprocessor,
+) -> Result<UnregulatedPoint, CoreError> {
+    let voc = cell.open_circuit_voltage();
+    let lo = cpu.v_min();
+    let hi = cpu.v_max().min(voc);
+    if lo >= hi {
+        return Err(CoreError::infeasible(
+            "unregulated operating point",
+            format!("processor window starts at {lo} but cell tops out at {voc}"),
+        ));
+    }
+    let balance = |v: f64| {
+        let v = Volts::new(v);
+        let p_solar = cell.power_at(v).watts();
+        let p_cpu = cpu
+            .power_at_max_speed(v)
+            .map(|p| p.watts())
+            .unwrap_or(f64::INFINITY);
+        p_solar - p_cpu
+    };
+    if balance(lo.volts()) <= 0.0 {
+        return Err(CoreError::infeasible(
+            "unregulated operating point",
+            format!(
+                "cell cannot sustain the core even at {lo} ({:.3} mW short)",
+                -balance(lo.volts()) * 1e3
+            ),
+        ));
+    }
+    if balance(hi.volts()) >= 0.0 {
+        // The core never out-draws the cell inside its window: it simply
+        // runs at its maximum voltage.
+        let vdd = cpu.v_max().min(hi);
+        let frequency = cpu.max_frequency(vdd);
+        return Ok(UnregulatedPoint {
+            vdd,
+            frequency,
+            power: cpu
+                .power_at_max_speed(vdd)
+                .map_err(|e| CoreError::component("processor", e))?,
+        });
+    }
+    let v = solve::bisect(balance, lo.volts(), hi.volts(), 1e-9)?;
+    let vdd = Volts::new(v);
+    Ok(UnregulatedPoint {
+        vdd,
+        frequency: cpu.max_frequency(vdd),
+        power: cell.power_at(vdd),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::Irradiance;
+
+    #[test]
+    fn full_sun_intersection_sits_below_mpp() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let cpu = Microprocessor::paper_65nm();
+        let point = unregulated_point(&cell, &cpu).unwrap();
+        let mpp = cell.mpp().unwrap();
+        // Fig. 6a: the unregulated point is well below the cell MPP voltage
+        // and extracts noticeably less than the MPP power.
+        assert!(point.vdd < mpp.voltage);
+        assert!(point.power < mpp.power);
+        assert!(
+            point.vdd.volts() > 0.5 && point.vdd.volts() < 0.6,
+            "intersection at {}",
+            point.vdd
+        );
+        // At the intersection supply and demand match.
+        let p_cpu = cpu.power_at_max_speed(point.vdd).unwrap();
+        assert!((p_cpu.watts() - point.power.watts()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_light_lowers_the_intersection() {
+        let cpu = Microprocessor::paper_65nm();
+        let full = unregulated_point(&SolarCell::kxob22(Irradiance::FULL_SUN), &cpu).unwrap();
+        let quarter =
+            unregulated_point(&SolarCell::kxob22(Irradiance::QUARTER_SUN), &cpu).unwrap();
+        assert!(quarter.vdd < full.vdd);
+        assert!(quarter.power < full.power);
+        assert!(quarter.frequency < full.frequency);
+    }
+
+    #[test]
+    fn darkness_is_infeasible() {
+        let cpu = Microprocessor::paper_65nm();
+        let err = unregulated_point(&SolarCell::kxob22(Irradiance::DARK), &cpu).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn very_dim_light_cannot_sustain_the_core() {
+        let cpu = Microprocessor::paper_65nm();
+        let cell = SolarCell::kxob22(Irradiance::new(0.005).unwrap());
+        assert!(unregulated_point(&cell, &cpu).is_err());
+    }
+
+    #[test]
+    fn oversized_array_runs_core_at_window_top() {
+        // A cell so strong the core never out-draws it: settles at v_max.
+        use hems_pv::SolarCellModel;
+        use hems_units::{Amps, Ohms};
+        let model = SolarCellModel::new(
+            Amps::new(2.0),
+            Volts::new(1.5),
+            Volts::new(0.2),
+            Ohms::ZERO,
+        )
+        .unwrap();
+        let cell = SolarCell::new(model, Irradiance::FULL_SUN);
+        let cpu = Microprocessor::paper_65nm();
+        let point = unregulated_point(&cell, &cpu).unwrap();
+        assert_eq!(point.vdd, cpu.v_max());
+    }
+}

@@ -1,0 +1,90 @@
+use hems_units::{SolveError, UnitsError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the microprocessor model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuError {
+    /// A model parameter failed validation.
+    BadParameter(UnitsError),
+    /// The requested supply voltage is outside the operating range.
+    VoltageOutOfRange {
+        /// Requested supply voltage in volts.
+        vdd: f64,
+        /// Minimum operating voltage in volts.
+        v_min: f64,
+        /// Maximum operating voltage in volts.
+        v_max: f64,
+    },
+    /// The requested clock frequency cannot be met at any supported voltage,
+    /// or exceeds the maximum at the requested voltage.
+    FrequencyUnreachable {
+        /// Requested frequency in hertz.
+        requested: f64,
+        /// Highest reachable frequency in hertz.
+        max: f64,
+    },
+    /// An internal solver failed.
+    Solver(SolveError),
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::BadParameter(e) => write!(f, "invalid processor parameter: {e}"),
+            CpuError::VoltageOutOfRange { vdd, v_min, v_max } => write!(
+                f,
+                "supply voltage {vdd} V outside operating range [{v_min}, {v_max}] V"
+            ),
+            CpuError::FrequencyUnreachable { requested, max } => write!(
+                f,
+                "clock {requested} Hz unreachable (maximum {max} Hz)"
+            ),
+            CpuError::Solver(e) => write!(f, "processor model solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::BadParameter(e) => Some(e),
+            CpuError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitsError> for CpuError {
+    fn from(e: UnitsError) -> Self {
+        CpuError::BadParameter(e)
+    }
+}
+
+impl From<SolveError> for CpuError {
+    fn from(e: SolveError) -> Self {
+        CpuError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CpuError::VoltageOutOfRange {
+            vdd: 0.3,
+            v_min: 0.45,
+            v_max: 1.0,
+        };
+        assert!(e.to_string().contains("0.3"));
+        let e = CpuError::FrequencyUnreachable {
+            requested: 2e9,
+            max: 1.2e9,
+        };
+        assert!(e.to_string().contains("unreachable"));
+        let e = CpuError::from(UnitsError::BadTable { reason: "r" });
+        assert!(e.source().is_some());
+    }
+}

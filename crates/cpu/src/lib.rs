@@ -1,0 +1,45 @@
+//! Microprocessor energy/performance model.
+//!
+//! The paper's load is a 65 nm pattern-recognition image processor (Section
+//! VII, Fig. 10) whose measured speed and energy curves appear in Fig. 11a:
+//! frequency climbing to ≈ 1.2 GHz near 1 V, a 64×64 frame processed in
+//! ≈ 15 ms at 0.5 V, and an energy-per-operation curve whose leakage tail
+//! creates the classic minimum-energy point (MEP).
+//!
+//! We model it with the standard analytical forms the low-power literature
+//! (and the paper's own eq. 5) uses:
+//!
+//! * **frequency** — alpha-power law, `f(V) = k (V - Vt)^α / V`;
+//! * **dynamic power** — `P_dyn = C_eff V² f`;
+//! * **leakage power** — `P_leak = V · I_0 · exp(V / V_s)` (subthreshold
+//!   with DIBL-style supply sensitivity);
+//! * **energy per cycle** — `E = C_eff V² + P_leak / f`, whose minimum over
+//!   `V` is the conventional MEP of eq. 5's first two terms.
+//!
+//! **Calibration** (asserted by tests): `k = 3.333 GHz`, `Vt = 0.4 V`,
+//! `α = 2` give 1.2 GHz at 1.0 V and 66.7 MHz at 0.5 V — at which the
+//! 1.0 M-cycle frame workload of `hems-imgproc` takes the paper's 15 ms.
+//! `C_eff = 240 pF` puts max-speed power at 0.55 V at the paper's ≈ 10 mW
+//! full load; `I_0 = 50 µA`, `V_s = 0.2 V` place the conventional MEP near
+//! 0.46 V with a ≈ 15 % leakage share, matching Fig. 11a's shape.
+
+// `!(a < b)` is used deliberately throughout this workspace: unlike
+// `a >= b` it is `true` when either operand is NaN, which is exactly the
+// reject-by-default behaviour the validation paths want.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dvfs;
+mod error;
+mod freq;
+mod mep;
+mod power;
+mod processor;
+
+pub use dvfs::{DvfsLadder, OperatingPoint};
+pub use error::CpuError;
+pub use freq::FrequencyModel;
+pub use mep::{EnergyBreakdown, MepPoint};
+pub use power::PowerModel;
+pub use processor::Microprocessor;

@@ -1,0 +1,163 @@
+use crate::{FeatureVector, ImgError};
+
+/// Nearest-centroid classifier — the "classifier" block of the paper's
+/// image processor, matched to what fits a tiny fixed-function accelerator:
+/// one stored centroid per class, one distance computation per class per
+/// frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearestCentroidClassifier {
+    centroids: Vec<(usize, FeatureVector)>,
+}
+
+impl NearestCentroidClassifier {
+    /// Trains a classifier from labelled feature vectors: one centroid per
+    /// distinct label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::BadClassifier`] when no examples are given or
+    /// dimensions are inconsistent.
+    pub fn train(examples: &[(usize, FeatureVector)]) -> Result<Self, ImgError> {
+        if examples.is_empty() {
+            return Err(ImgError::BadClassifier {
+                reason: "training set is empty",
+            });
+        }
+        let dim = examples[0].1.len();
+        if examples.iter().any(|(_, v)| v.len() != dim) {
+            return Err(ImgError::BadClassifier {
+                reason: "training vectors have mismatched dimensions",
+            });
+        }
+        let mut labels: Vec<usize> = examples.iter().map(|(l, _)| *l).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut centroids = Vec::with_capacity(labels.len());
+        for label in labels {
+            let class_vectors: Vec<FeatureVector> = examples
+                .iter()
+                .filter(|(l, _)| *l == label)
+                .map(|(_, v)| v.clone())
+                .collect();
+            centroids.push((label, FeatureVector::centroid(&class_vectors)?));
+        }
+        Ok(NearestCentroidClassifier { centroids })
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Feature dimensionality expected by this classifier.
+    pub fn dimension(&self) -> usize {
+        self.centroids[0].1.len()
+    }
+
+    /// Classifies a feature vector, returning `(label, distance)` of the
+    /// nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::BadClassifier`] when the vector dimension does
+    /// not match the training dimension.
+    pub fn classify(&self, features: &FeatureVector) -> Result<(usize, f64), ImgError> {
+        if features.len() != self.dimension() {
+            return Err(ImgError::BadClassifier {
+                reason: "query vector dimension differs from training dimension",
+            });
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (label, centroid) in &self.centroids {
+            let d = features.distance(centroid);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((*label, d));
+            }
+        }
+        Ok(best.expect("at least one centroid by construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureExtractor, Frame, Shape};
+
+    fn training_set(seeds: std::ops::Range<u64>) -> Vec<(usize, FeatureVector)> {
+        let extractor = FeatureExtractor::paper_default();
+        let mut examples = Vec::new();
+        for shape in Shape::ALL {
+            for seed in seeds.clone() {
+                let frame = Frame::synthetic_shape(64, 64, shape, seed).unwrap();
+                examples.push((shape.label(), extractor.extract(&frame).unwrap()));
+            }
+        }
+        examples
+    }
+
+    #[test]
+    fn train_validates_inputs() {
+        assert!(NearestCentroidClassifier::train(&[]).is_err());
+        let a = FeatureVector::centroid(&[training_set(0..1)[0].1.clone()]).unwrap();
+        let mismatched = vec![
+            (0usize, a),
+            (
+                1usize,
+                FeatureVector::centroid(&[FeatureVector::centroid(&[training_set(0..1)[0]
+                    .1
+                    .clone()])
+                .unwrap()])
+                .unwrap(),
+            ),
+        ];
+        // Same dims here, so this should be fine.
+        assert!(NearestCentroidClassifier::train(&mismatched).is_ok());
+    }
+
+    #[test]
+    fn classifies_held_out_shapes_correctly() {
+        let classifier = NearestCentroidClassifier::train(&training_set(0..10)).unwrap();
+        assert_eq!(classifier.class_count(), 4);
+        assert_eq!(classifier.dimension(), 512);
+        let extractor = FeatureExtractor::paper_default();
+        let mut correct = 0;
+        let mut total = 0;
+        for shape in Shape::ALL {
+            for seed in 100..110 {
+                let frame = Frame::synthetic_shape(64, 64, shape, seed).unwrap();
+                let v = extractor.extract(&frame).unwrap();
+                let (label, _) = classifier.classify(&v).unwrap();
+                total += 1;
+                if label == shape.label() {
+                    correct += 1;
+                }
+            }
+        }
+        // A real recognizer: expect strong accuracy on clean synthetic data.
+        assert!(
+            correct * 100 >= total * 85,
+            "accuracy {correct}/{total} below 85%"
+        );
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let classifier = NearestCentroidClassifier::train(&training_set(0..2)).unwrap();
+        let small = FeatureExtractor::new(8, 4).unwrap();
+        let frame = Frame::synthetic_shape(64, 64, Shape::Disc, 0).unwrap();
+        let v = small.extract(&frame).unwrap();
+        assert!(classifier.classify(&v).is_err());
+    }
+
+    #[test]
+    fn distance_to_own_centroid_is_smallest() {
+        let examples = training_set(0..5);
+        let classifier = NearestCentroidClassifier::train(&examples).unwrap();
+        // The centroid itself classifies to its own label at distance ~0.
+        for (label, centroid) in &classifier.centroids {
+            let (got, d) = classifier.classify(centroid).unwrap();
+            assert_eq!(got, *label);
+            assert!(d < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+use crate::{FeatureExtractor, Frame};
+use hems_units::Cycles;
+
+/// Cycle-cost model of the fixed-function image processor.
+///
+/// The energy-management layers charge the CPU model by clock cycles; this
+/// model translates pipeline work into cycles. Costs are per-pixel /
+/// per-element constants for each hardware block of the paper's Fig. 10
+/// (data scan-in, feature extraction, vector formation, classifier), plus a
+/// fixed per-frame control overhead.
+///
+/// **Calibration** (asserted in tests): with the default constants a 64×64
+/// frame through the paper-default extractor and a 4-class classifier costs
+/// ≈ 1.0 M cycles — which the CPU model turns into the paper's "about 15 ms
+/// at 0.5 V".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleCostModel {
+    /// Cycles to scan one pixel into on-chip memory.
+    pub scan_per_pixel: f64,
+    /// Cycles of gradient computation per pixel.
+    pub gradient_per_pixel: f64,
+    /// Cycles of histogram/vector formation per pixel.
+    pub histogram_per_pixel: f64,
+    /// Cycles per feature-vector element per class in the classifier.
+    pub classify_per_element: f64,
+    /// Fixed per-frame control overhead in cycles.
+    pub frame_overhead: f64,
+}
+
+impl CycleCostModel {
+    /// The calibrated default (see type-level docs).
+    pub fn paper_default() -> CycleCostModel {
+        CycleCostModel {
+            scan_per_pixel: 30.0,
+            gradient_per_pixel: 120.0,
+            histogram_per_pixel: 80.0,
+            classify_per_element: 2.0,
+            frame_overhead: 50_000.0,
+        }
+    }
+
+    /// Cycles to process `frame` through `extractor` and an `n_classes`-way
+    /// classifier.
+    pub fn frame_cost(
+        &self,
+        frame: &Frame,
+        extractor: &FeatureExtractor,
+        n_classes: usize,
+    ) -> Cycles {
+        let pixels = frame.pixel_count() as f64;
+        let dim = extractor.output_dim(frame.width(), frame.height()) as f64;
+        let per_pixel =
+            self.scan_per_pixel + self.gradient_per_pixel + self.histogram_per_pixel;
+        Cycles::new(
+            pixels * per_pixel
+                + dim * self.classify_per_element * n_classes as f64
+                + self.frame_overhead,
+        )
+    }
+}
+
+impl Default for CycleCostModel {
+    fn default() -> Self {
+        CycleCostModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_64x64_costs_about_a_megacycle() {
+        let cost = CycleCostModel::paper_default();
+        let frame = Frame::black(64, 64).unwrap();
+        let extractor = FeatureExtractor::paper_default();
+        let c = cost.frame_cost(&frame, &extractor, 4);
+        assert!(
+            c.count() > 0.95e6 && c.count() < 1.05e6,
+            "cost = {} cycles",
+            c.count()
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_pixels() {
+        let cost = CycleCostModel::paper_default();
+        let extractor = FeatureExtractor::paper_default();
+        let small = cost.frame_cost(&Frame::black(32, 32).unwrap(), &extractor, 4);
+        let large = cost.frame_cost(&Frame::black(64, 64).unwrap(), &extractor, 4);
+        // 4x the pixels, but the fixed overhead keeps the ratio below 4.
+        let ratio = large.count() / small.count();
+        assert!(ratio > 3.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_scales_with_class_count() {
+        let cost = CycleCostModel::paper_default();
+        let extractor = FeatureExtractor::paper_default();
+        let frame = Frame::black(64, 64).unwrap();
+        let few = cost.frame_cost(&frame, &extractor, 2);
+        let many = cost.frame_cost(&frame, &extractor, 16);
+        assert!(many > few);
+        let delta = many.count() - few.count();
+        assert_eq!(delta, 512.0 * 2.0 * 14.0);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(CycleCostModel::default(), CycleCostModel::paper_default());
+    }
+}

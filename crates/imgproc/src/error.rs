@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the image-processing workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImgError {
+    /// Frame dimensions are unusable (zero, or not divisible by the feature
+    /// extractor's cell size).
+    BadDimensions {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+        /// Explanation of the constraint violated.
+        reason: &'static str,
+    },
+    /// The pixel buffer length does not match `width * height`.
+    BufferMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The classifier was asked to work without any trained classes, or
+    /// with inconsistent feature dimensions.
+    BadClassifier {
+        /// Explanation of the defect.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ImgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImgError::BadDimensions {
+                width,
+                height,
+                reason,
+            } => write!(f, "unusable frame dimensions {width}x{height}: {reason}"),
+            ImgError::BufferMismatch { expected, got } => {
+                write!(f, "pixel buffer holds {got} bytes, expected {expected}")
+            }
+            ImgError::BadClassifier { reason } => write!(f, "classifier misconfigured: {reason}"),
+        }
+    }
+}
+
+impl Error for ImgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ImgError::BadDimensions {
+            width: 0,
+            height: 64,
+            reason: "width must be positive",
+        };
+        assert!(e.to_string().contains("0x64"));
+        let e = ImgError::BufferMismatch {
+            expected: 4096,
+            got: 100,
+        };
+        assert!(e.to_string().contains("4096"));
+        let e = ImgError::BadClassifier { reason: "no classes" };
+        assert!(e.to_string().contains("no classes"));
+    }
+}

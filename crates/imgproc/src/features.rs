@@ -1,0 +1,275 @@
+use crate::{Frame, GradientField, ImgError};
+
+/// A dense feature vector of windowed gradient-orientation histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    values: Vec<f32>,
+}
+
+impl FeatureVector {
+    /// The vector's components.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Dimensionality.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Euclidean distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ.
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "feature vectors must share a dimensionality"
+        );
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Component-wise mean of several vectors (the centroid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::BadClassifier`] when `vectors` is empty or the
+    /// dimensions disagree.
+    pub fn centroid(vectors: &[FeatureVector]) -> Result<FeatureVector, ImgError> {
+        let Some(first) = vectors.first() else {
+            return Err(ImgError::BadClassifier {
+                reason: "cannot form a centroid of zero vectors",
+            });
+        };
+        let dim = first.len();
+        if vectors.iter().any(|v| v.len() != dim) {
+            return Err(ImgError::BadClassifier {
+                reason: "centroid inputs have mismatched dimensions",
+            });
+        }
+        let mut acc = vec![0.0f32; dim];
+        for v in vectors {
+            for (a, x) in acc.iter_mut().zip(v.values.iter()) {
+                *a += x;
+            }
+        }
+        let n = vectors.len() as f32;
+        Ok(FeatureVector {
+            values: acc.into_iter().map(|a| a / n).collect(),
+        })
+    }
+}
+
+/// Extracts windowed gradient-orientation histograms — the "vector
+/// formation" block of the paper's Fig. 10.
+///
+/// The frame is tiled into `cell_size × cell_size` cells; each cell
+/// accumulates a histogram of gradient orientations over `bins` bins,
+/// weighted by gradient magnitude, then the histogram is L2-normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureExtractor {
+    cell_size: usize,
+    bins: usize,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::BadDimensions`] when `cell_size < 2` or
+    /// `bins == 0`.
+    pub fn new(cell_size: usize, bins: usize) -> Result<FeatureExtractor, ImgError> {
+        if cell_size < 2 || bins == 0 {
+            return Err(ImgError::BadDimensions {
+                width: cell_size,
+                height: bins,
+                reason: "cell size must be >= 2 and bins >= 1",
+            });
+        }
+        Ok(FeatureExtractor { cell_size, bins })
+    }
+
+    /// The paper-scale default: 8×8 cells with 8 orientation bins, so a
+    /// 64×64 frame yields an 8·8·8 = 512-dimensional vector.
+    pub fn paper_default() -> FeatureExtractor {
+        FeatureExtractor::new(8, 8).expect("reference parameters are valid")
+    }
+
+    /// Cell edge length in pixels.
+    pub fn cell_size(&self) -> usize {
+        self.cell_size
+    }
+
+    /// Orientation bins per cell.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Dimensionality of the vector produced for `width × height` frames.
+    pub fn output_dim(&self, width: usize, height: usize) -> usize {
+        (width / self.cell_size) * (height / self.cell_size) * self.bins
+    }
+
+    /// Extracts the feature vector of `frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::BadDimensions`] when the frame is not an exact
+    /// multiple of the cell size in both axes.
+    pub fn extract(&self, frame: &Frame) -> Result<FeatureVector, ImgError> {
+        let w = frame.width();
+        let h = frame.height();
+        if !w.is_multiple_of(self.cell_size) || !h.is_multiple_of(self.cell_size) {
+            return Err(ImgError::BadDimensions {
+                width: w,
+                height: h,
+                reason: "frame must tile exactly into feature cells",
+            });
+        }
+        let grad = GradientField::compute(frame);
+        let cells_x = w / self.cell_size;
+        let cells_y = h / self.cell_size;
+        let mut values = vec![0.0f32; cells_x * cells_y * self.bins];
+        let bin_width = std::f32::consts::PI / self.bins as f32;
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                let base = (cy * cells_x + cx) * self.bins;
+                for dy in 0..self.cell_size {
+                    for dx in 0..self.cell_size {
+                        let x = cx * self.cell_size + dx;
+                        let y = cy * self.cell_size + dy;
+                        let mag = grad.magnitude(x, y);
+                        if mag > 0.0 {
+                            let bin = ((grad.orientation(x, y) / bin_width) as usize)
+                                .min(self.bins - 1);
+                            values[base + bin] += mag;
+                        }
+                    }
+                }
+                // L2-normalize the cell histogram.
+                let norm: f32 = values[base..base + self.bins]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt();
+                if norm > 0.0 {
+                    for v in &mut values[base..base + self.bins] {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+        Ok(FeatureVector { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn output_dimension_matches_tiling() {
+        let e = FeatureExtractor::paper_default();
+        assert_eq!(e.output_dim(64, 64), 512);
+        assert_eq!(e.cell_size(), 8);
+        assert_eq!(e.bins(), 8);
+        let f = Frame::synthetic_shape(64, 64, Shape::Disc, 1).unwrap();
+        let v = e.extract(&f).unwrap();
+        assert_eq!(v.len(), 512);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn rejects_untileable_frames() {
+        let e = FeatureExtractor::paper_default();
+        let f = Frame::black(60, 64).unwrap();
+        assert!(matches!(
+            e.extract(&f),
+            Err(ImgError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn cells_are_l2_normalized() {
+        let e = FeatureExtractor::paper_default();
+        let f = Frame::synthetic_shape(64, 64, Shape::Cross, 2).unwrap();
+        let v = e.extract(&f).unwrap();
+        for cell in v.values().chunks(8) {
+            let norm: f32 = cell.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4, "cell norm {norm}");
+        }
+    }
+
+    #[test]
+    fn flat_frame_yields_zero_vector() {
+        let e = FeatureExtractor::paper_default();
+        let f = Frame::black(64, 64).unwrap();
+        let v = e.extract(&f).unwrap();
+        assert!(v.values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn different_shapes_yield_distant_vectors() {
+        let e = FeatureExtractor::paper_default();
+        let disc = e
+            .extract(&Frame::synthetic_shape(64, 64, Shape::Disc, 3).unwrap())
+            .unwrap();
+        let stripes = e
+            .extract(&Frame::synthetic_shape(64, 64, Shape::Stripes, 3).unwrap())
+            .unwrap();
+        let disc2 = e
+            .extract(&Frame::synthetic_shape(64, 64, Shape::Disc, 4).unwrap())
+            .unwrap();
+        // Same shape, different seed: closer than different shapes.
+        assert!(disc.distance(&disc2) < disc.distance(&stripes));
+    }
+
+    #[test]
+    fn centroid_averages_components() {
+        let a = FeatureVector {
+            values: vec![0.0, 2.0],
+        };
+        let b = FeatureVector {
+            values: vec![4.0, 0.0],
+        };
+        let c = FeatureVector::centroid(&[a.clone(), b]).unwrap();
+        assert_eq!(c.values(), &[2.0, 1.0]);
+        assert!(FeatureVector::centroid(&[]).is_err());
+        let short = FeatureVector { values: vec![1.0] };
+        assert!(FeatureVector::centroid(&[a, short]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn distance_requires_matching_dims() {
+        let a = FeatureVector { values: vec![1.0] };
+        let b = FeatureVector {
+            values: vec![1.0, 2.0],
+        };
+        let _ = a.distance(&b);
+    }
+
+    #[test]
+    fn extractor_constructor_validates() {
+        assert!(FeatureExtractor::new(1, 8).is_err());
+        assert!(FeatureExtractor::new(8, 0).is_err());
+        assert!(FeatureExtractor::new(4, 6).is_ok());
+    }
+}

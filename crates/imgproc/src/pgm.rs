@@ -1,0 +1,223 @@
+//! Minimal PGM (portable graymap) I/O, so real camera frames can be fed
+//! through the recognition pipeline.
+//!
+//! Supports the binary `P5` variant with 8-bit depth — the de-facto
+//! interchange format for grayscale test imagery — using only `std`.
+
+use crate::{Frame, ImgError};
+use std::io::{self, BufRead, Write};
+
+/// Error type for PGM parsing: either an I/O failure or a format defect.
+#[derive(Debug)]
+pub enum PgmError {
+    /// Underlying reader/writer failed.
+    Io(io::Error),
+    /// The byte stream is not a valid 8-bit P5 PGM.
+    Format {
+        /// Explanation of the defect.
+        reason: &'static str,
+    },
+    /// The pixels parsed but violate frame invariants.
+    Frame(ImgError),
+}
+
+impl std::fmt::Display for PgmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PgmError::Io(e) => write!(f, "pgm i/o failed: {e}"),
+            PgmError::Format { reason } => write!(f, "malformed pgm: {reason}"),
+            PgmError::Frame(e) => write!(f, "pgm produced an invalid frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PgmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PgmError::Io(e) => Some(e),
+            PgmError::Frame(e) => Some(e),
+            PgmError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PgmError {
+    fn from(e: io::Error) -> Self {
+        PgmError::Io(e)
+    }
+}
+
+impl From<ImgError> for PgmError {
+    fn from(e: ImgError) -> Self {
+        PgmError::Frame(e)
+    }
+}
+
+/// Reads one ASCII token (whitespace-delimited, `#` comments skipped).
+fn read_token<R: BufRead>(r: &mut R) -> Result<String, PgmError> {
+    let mut token = String::new();
+    let mut byte = [0u8; 1];
+    // Skip whitespace and comments.
+    loop {
+        if r.read(&mut byte)? == 0 {
+            return Err(PgmError::Format {
+                reason: "unexpected end of header",
+            });
+        }
+        match byte[0] {
+            b'#' => {
+                // Comment to end of line.
+                let mut junk = Vec::new();
+                r.read_until(b'\n', &mut junk)?;
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => {
+                token.push(c as char);
+                break;
+            }
+        }
+    }
+    loop {
+        if r.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0].is_ascii_whitespace() {
+            break;
+        }
+        token.push(byte[0] as char);
+        if token.len() > 16 {
+            return Err(PgmError::Format {
+                reason: "header token too long",
+            });
+        }
+    }
+    Ok(token)
+}
+
+/// Parses a binary 8-bit `P5` PGM from `reader` into a [`Frame`].
+///
+/// # Errors
+///
+/// Returns [`PgmError`] for I/O failures, non-P5 magic, missing header
+/// fields, depths other than 1–255, or truncated pixel data.
+pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Frame, PgmError> {
+    let magic = read_token(&mut reader)?;
+    if magic != "P5" {
+        return Err(PgmError::Format {
+            reason: "only binary P5 graymaps are supported",
+        });
+    }
+    let parse = |t: String, what: &'static str| -> Result<usize, PgmError> {
+        t.parse::<usize>().map_err(|_| PgmError::Format {
+            reason: match what {
+                "width" => "width is not a number",
+                "height" => "height is not a number",
+                _ => "maxval is not a number",
+            },
+        })
+    };
+    let width = parse(read_token(&mut reader)?, "width")?;
+    let height = parse(read_token(&mut reader)?, "height")?;
+    let maxval = parse(read_token(&mut reader)?, "maxval")?;
+    if maxval == 0 || maxval > 255 {
+        return Err(PgmError::Format {
+            reason: "only 8-bit graymaps (maxval 1-255) are supported",
+        });
+    }
+    let mut pixels = vec![0u8; width.checked_mul(height).ok_or(PgmError::Format {
+        reason: "image dimensions overflow",
+    })?];
+    reader.read_exact(&mut pixels).map_err(|_| PgmError::Format {
+        reason: "truncated pixel data",
+    })?;
+    if maxval != 255 {
+        // Rescale to the full 8-bit range the pipeline expects.
+        for p in &mut pixels {
+            *p = ((*p as usize * 255) / maxval) as u8;
+        }
+    }
+    Ok(Frame::from_pixels(width, height, pixels)?)
+}
+
+/// Writes `frame` as a binary 8-bit `P5` PGM.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_pgm<W: Write>(frame: &Frame, mut writer: W) -> io::Result<()> {
+    write!(writer, "P5\n{} {}\n255\n", frame.width(), frame.height())?;
+    writer.write_all(frame.pixels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn round_trips_a_synthetic_frame() {
+        let frame = Frame::synthetic_shape(64, 64, Shape::Disc, 5).unwrap();
+        let mut buf = Vec::new();
+        write_pgm(&frame, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn parses_headers_with_comments() {
+        let mut data = b"P5\n# a comment\n2 2\n# another\n255\n".to_vec();
+        data.extend_from_slice(&[0, 64, 128, 255]);
+        let frame = read_pgm(data.as_slice()).unwrap();
+        assert_eq!(frame.width(), 2);
+        assert_eq!(frame.pixel(1, 1), 255);
+    }
+
+    #[test]
+    fn rescales_low_maxval() {
+        let mut data = b"P5\n2 1\n3\n".to_vec();
+        data.extend_from_slice(&[0, 3]);
+        let frame = read_pgm(data.as_slice()).unwrap();
+        assert_eq!(frame.pixel(0, 0), 0);
+        assert_eq!(frame.pixel(1, 0), 255);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            read_pgm(b"P2\n2 2\n255\n".as_slice()),
+            Err(PgmError::Format { .. })
+        ));
+        assert!(matches!(
+            read_pgm(b"P5\nhello 2\n255\n".as_slice()),
+            Err(PgmError::Format { .. })
+        ));
+        assert!(matches!(
+            read_pgm(b"P5\n2 2\n0\n".as_slice()),
+            Err(PgmError::Format { .. })
+        ));
+        assert!(matches!(
+            read_pgm(b"P5\n2 2\n65535\n".as_slice()),
+            Err(PgmError::Format { .. })
+        ));
+        // Truncated data.
+        let data = b"P5\n4 4\n255\nab".to_vec();
+        assert!(matches!(
+            read_pgm(data.as_slice()),
+            Err(PgmError::Format { reason }) if reason.contains("truncated")
+        ));
+        // Empty stream.
+        assert!(matches!(
+            read_pgm(b"".as_slice()),
+            Err(PgmError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PgmError::Format { reason: "bad" };
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = PgmError::from(io::Error::other("x"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,158 @@
+use crate::{
+    CycleCostModel, FeatureExtractor, Frame, ImgError, NearestCentroidClassifier, Shape,
+};
+use hems_units::Cycles;
+
+/// Result of processing one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Predicted class label.
+    pub label: usize,
+    /// Distance to the winning centroid (lower = more confident).
+    pub distance: f64,
+    /// Clock cycles the frame cost, per the [`CycleCostModel`].
+    pub cycles: Cycles,
+}
+
+/// The full recognition pipeline of the paper's test chip: feature
+/// extraction → vector formation → classification, with cycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecognitionPipeline {
+    extractor: FeatureExtractor,
+    classifier: NearestCentroidClassifier,
+    cost: CycleCostModel,
+}
+
+impl RecognitionPipeline {
+    /// Assembles a pipeline from its stages.
+    pub fn new(
+        extractor: FeatureExtractor,
+        classifier: NearestCentroidClassifier,
+        cost: CycleCostModel,
+    ) -> RecognitionPipeline {
+        RecognitionPipeline {
+            extractor,
+            classifier,
+            cost,
+        }
+    }
+
+    /// The paper-scale pipeline: 64×64 frames, 8×8/8-bin features, a
+    /// 4-class shape classifier trained on a small synthetic set, and the
+    /// calibrated cycle costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures (should not occur for the built-in
+    /// synthetic set).
+    pub fn paper_default() -> Result<RecognitionPipeline, ImgError> {
+        let extractor = FeatureExtractor::paper_default();
+        let mut examples = Vec::new();
+        for shape in Shape::ALL {
+            for seed in 0..8 {
+                let frame = Frame::synthetic_shape(64, 64, shape, seed)?;
+                examples.push((shape.label(), extractor.extract(&frame)?));
+            }
+        }
+        Ok(RecognitionPipeline {
+            extractor,
+            classifier: NearestCentroidClassifier::train(&examples)?,
+            cost: CycleCostModel::paper_default(),
+        })
+    }
+
+    /// The feature extractor stage.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The classifier stage.
+    pub fn classifier(&self) -> &NearestCentroidClassifier {
+        &self.classifier
+    }
+
+    /// Cycles one `frame` would cost, without running it.
+    pub fn frame_cost(&self, frame: &Frame) -> Cycles {
+        self.cost
+            .frame_cost(frame, &self.extractor, self.classifier.class_count())
+    }
+
+    /// Processes a frame end-to-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not tile into the extractor's cells or its
+    /// features mismatch the classifier — configuration errors that
+    /// [`RecognitionPipeline::try_process`] surfaces as `Err` instead.
+    pub fn process(&self, frame: &Frame) -> PipelineResult {
+        self.try_process(frame)
+            .expect("frame incompatible with pipeline configuration")
+    }
+
+    /// Processes a frame end-to-end, surfacing configuration mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError`] when the frame does not tile into the feature
+    /// cells or the resulting vector has the wrong dimension.
+    pub fn try_process(&self, frame: &Frame) -> Result<PipelineResult, ImgError> {
+        let features = self.extractor.extract(frame)?;
+        let (label, distance) = self.classifier.classify(&features)?;
+        Ok(PipelineResult {
+            label,
+            distance,
+            cycles: self.frame_cost(frame),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pipeline_recognizes_shapes() {
+        let p = RecognitionPipeline::paper_default().unwrap();
+        let mut correct = 0;
+        for shape in Shape::ALL {
+            for seed in 50..55 {
+                let frame = Frame::synthetic_shape(64, 64, shape, seed).unwrap();
+                if p.process(&frame).label == shape.label() {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 17, "only {correct}/20 correct");
+    }
+
+    #[test]
+    fn cycle_cost_matches_calibration() {
+        let p = RecognitionPipeline::paper_default().unwrap();
+        let frame = Frame::synthetic_shape(64, 64, Shape::Disc, 99).unwrap();
+        let r = p.process(&frame);
+        assert!(r.cycles.count() > 0.95e6 && r.cycles.count() < 1.05e6);
+        assert_eq!(r.cycles, p.frame_cost(&frame));
+    }
+
+    #[test]
+    fn try_process_surfaces_bad_frames() {
+        let p = RecognitionPipeline::paper_default().unwrap();
+        let odd = Frame::black(60, 60).unwrap();
+        assert!(p.try_process(&odd).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn process_panics_on_bad_frames() {
+        let p = RecognitionPipeline::paper_default().unwrap();
+        let odd = Frame::black(60, 60).unwrap();
+        let _ = p.process(&odd);
+    }
+
+    #[test]
+    fn accessors_expose_stages() {
+        let p = RecognitionPipeline::paper_default().unwrap();
+        assert_eq!(p.extractor().cell_size(), 8);
+        assert_eq!(p.classifier().class_count(), 4);
+    }
+}

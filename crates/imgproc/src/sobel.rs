@@ -1,0 +1,185 @@
+use crate::Frame;
+
+/// Per-pixel gradient field from a 3×3 Sobel operator.
+///
+/// The "feature extraction" stage of the paper's image processor: gradient
+/// magnitude and orientation at every interior pixel (borders are zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientField {
+    width: usize,
+    height: usize,
+    gx: Vec<f32>,
+    gy: Vec<f32>,
+}
+
+impl GradientField {
+    /// Computes Sobel gradients of `frame`.
+    pub fn compute(frame: &Frame) -> GradientField {
+        let w = frame.width();
+        let h = frame.height();
+        let mut gx = vec![0.0f32; w * h];
+        let mut gy = vec![0.0f32; w * h];
+        if w >= 3 && h >= 3 {
+            let px = frame.pixels();
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let at = |dx: isize, dy: isize| -> f32 {
+                        px[((y as isize + dy) as usize) * w + (x as isize + dx) as usize] as f32
+                    };
+                    // Sobel kernels.
+                    let sx = -at(-1, -1) + at(1, -1) - 2.0 * at(-1, 0) + 2.0 * at(1, 0)
+                        - at(-1, 1)
+                        + at(1, 1);
+                    let sy = -at(-1, -1) - 2.0 * at(0, -1) - at(1, -1)
+                        + at(-1, 1)
+                        + 2.0 * at(0, 1)
+                        + at(1, 1);
+                    gx[y * w + x] = sx;
+                    gy[y * w + x] = sy;
+                }
+            }
+        }
+        GradientField {
+            width: w,
+            height: h,
+            gx,
+            gy,
+        }
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Horizontal gradient at `(x, y)`.
+    pub fn gx(&self, x: usize, y: usize) -> f32 {
+        self.gx[y * self.width + x]
+    }
+
+    /// Vertical gradient at `(x, y)`.
+    pub fn gy(&self, x: usize, y: usize) -> f32 {
+        self.gy[y * self.width + x]
+    }
+
+    /// Gradient magnitude at `(x, y)`.
+    pub fn magnitude(&self, x: usize, y: usize) -> f32 {
+        let gx = self.gx(x, y);
+        let gy = self.gy(x, y);
+        (gx * gx + gy * gy).sqrt()
+    }
+
+    /// Gradient orientation at `(x, y)` in `[0, π)` (unsigned).
+    pub fn orientation(&self, x: usize, y: usize) -> f32 {
+        let angle = self.gy(x, y).atan2(self.gx(x, y));
+        let pi = std::f32::consts::PI;
+        ((angle % pi) + pi) % pi
+    }
+
+    /// Mean gradient magnitude over the field — a cheap "edge content"
+    /// statistic used by tests.
+    pub fn mean_magnitude(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                acc += self.magnitude(x, y) as f64;
+            }
+        }
+        acc / (self.width * self.height) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn flat_frame_has_zero_gradient() {
+        let f = Frame::black(16, 16).unwrap();
+        let g = GradientField::compute(&f);
+        assert_eq!(g.mean_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn vertical_edge_produces_horizontal_gradient() {
+        // Left half dark, right half bright.
+        let w = 16;
+        let pixels: Vec<u8> = (0..w * w)
+            .map(|i| if i % w < w / 2 { 0 } else { 200 })
+            .collect();
+        let f = Frame::from_pixels(w, w, pixels).unwrap();
+        let g = GradientField::compute(&f);
+        // At the edge column the x-gradient is strong, y-gradient zero.
+        let x_edge = w / 2 - 1;
+        assert!(g.gx(x_edge, 8).abs() > 100.0);
+        assert_eq!(g.gy(x_edge, 8), 0.0);
+        // Orientation of a vertical edge is 0 (pointing along x).
+        assert!(g.orientation(x_edge, 8) < 0.1);
+    }
+
+    #[test]
+    fn horizontal_edge_produces_vertical_gradient() {
+        let w = 16;
+        let pixels: Vec<u8> = (0..w * w)
+            .map(|i| if i / w < w / 2 { 0 } else { 200 })
+            .collect();
+        let f = Frame::from_pixels(w, w, pixels).unwrap();
+        let g = GradientField::compute(&f);
+        let y_edge = w / 2 - 1;
+        assert!(g.gy(8, y_edge).abs() > 100.0);
+        assert_eq!(g.gx(8, y_edge), 0.0);
+        // Orientation of a horizontal edge is π/2.
+        assert!((g.orientation(8, y_edge) - std::f32::consts::FRAC_PI_2).abs() < 0.1);
+    }
+
+    #[test]
+    fn borders_are_zero() {
+        let f = Frame::synthetic_shape(32, 32, Shape::Disc, 5).unwrap();
+        let g = GradientField::compute(&f);
+        for i in 0..32 {
+            assert_eq!(g.magnitude(i, 0), 0.0);
+            assert_eq!(g.magnitude(0, i), 0.0);
+            assert_eq!(g.magnitude(i, 31), 0.0);
+            assert_eq!(g.magnitude(31, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn shapes_have_edge_content() {
+        for shape in Shape::ALL {
+            let f = Frame::synthetic_shape(64, 64, shape, 9).unwrap();
+            let g = GradientField::compute(&f);
+            assert!(
+                g.mean_magnitude() > 10.0,
+                "{shape:?} produced no edges ({})",
+                g.mean_magnitude()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_frames_do_not_panic() {
+        let f = Frame::black(2, 2).unwrap();
+        let g = GradientField::compute(&f);
+        assert_eq!(g.width(), 2);
+        assert_eq!(g.mean_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn orientation_is_in_half_open_pi_range() {
+        let f = Frame::synthetic_shape(64, 64, Shape::Stripes, 11).unwrap();
+        let g = GradientField::compute(&f);
+        for y in 0..64 {
+            for x in 0..64 {
+                let o = g.orientation(x, y);
+                assert!((0.0..std::f32::consts::PI + 1e-6).contains(&o));
+            }
+        }
+    }
+}

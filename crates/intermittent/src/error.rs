@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when assembling the intermittent runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntermittentError {
+    /// The task chain is unusable.
+    BadChain {
+        /// Explanation of the defect.
+        reason: &'static str,
+    },
+    /// A policy or NVM parameter failed validation.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for IntermittentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntermittentError::BadChain { reason } => write!(f, "unusable task chain: {reason}"),
+            IntermittentError::BadParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for IntermittentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = IntermittentError::BadChain { reason: "empty" };
+        assert!(e.to_string().contains("empty"));
+        let e = IntermittentError::BadParameter {
+            what: "checkpoint interval",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("interval"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Intermittent-computing runtime: forward progress across power failures.
+//!
+//! The paper's introduction frames its energy management against the
+//! system-software line of work on *transiently powered* devices: Hibernus'
+//! self-calibrating hibernation (its ref. \[14\]), federated energy storage
+//! (\[15\]) and Alpaca's task-based execution without checkpoints (\[16\]).
+//! A battery-less node *will* brown out — the holistic controller makes
+//! that rarer and better-timed, but the software still has to survive it.
+//!
+//! This crate provides that layer on top of `hems-sim`:
+//!
+//! * an application is a repeating [`TaskChain`] of atomic tasks
+//!   (Alpaca-style), each with a cycle cost and a persistent-state
+//!   footprint;
+//! * a [`NvmModel`] prices checkpoint commits in clock cycles (FRAM-like
+//!   word writes), so checkpointing competes for the same energy budget as
+//!   real work;
+//! * a [`CheckpointPolicy`] decides *when* to commit (every task, every N
+//!   tasks, only below a voltage threshold, or only at chain boundaries —
+//!   the restart-everything baseline);
+//! * the [`IntermittentRuntime`] drives a [`hems_sim::Simulation`] step by
+//!   step, loses volatile progress on every brownout, replays from the last
+//!   commit, and accounts useful vs. wasted vs. checkpoint cycles.
+//!
+//! ```no_run
+//! use hems_intermittent::{CheckpointPolicy, IntermittentRuntime, NvmModel, Task, TaskChain};
+//! use hems_core::{HolisticController, Mode};
+//! use hems_pv::Irradiance;
+//! use hems_sim::{LightProfile, Simulation, SystemConfig};
+//! use hems_units::{Cycles, Seconds, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = TaskChain::new(vec![
+//!     Task::new("sample", Cycles::new(50_000.0), 64),
+//!     Task::new("feature", Cycles::new(600_000.0), 512),
+//!     Task::new("classify", Cycles::new(350_000.0), 16),
+//! ])?;
+//! let mut runtime = IntermittentRuntime::new(
+//!     chain,
+//!     CheckpointPolicy::EveryTask,
+//!     NvmModel::fram(),
+//! );
+//! let config = SystemConfig::paper_sc_system()?;
+//! let light = LightProfile::constant(Irradiance::QUARTER_SUN);
+//! let mut sim = Simulation::new(config, light, Volts::new(1.0))?;
+//! let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
+//! let report = runtime.run(&mut sim, &mut ctl, Seconds::new(2.0));
+//! println!("{} chain iterations", report.chain_completions);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod error;
+mod nvm;
+mod policy;
+mod runtime;
+
+pub use chain::{Task, TaskChain};
+pub use error::IntermittentError;
+pub use nvm::NvmModel;
+pub use policy::CheckpointPolicy;
+pub use runtime::{ForwardProgress, IntermittentRuntime};

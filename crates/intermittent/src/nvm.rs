@@ -1,0 +1,94 @@
+use crate::IntermittentError;
+use hems_units::Cycles;
+
+/// Cost model of the non-volatile memory backing checkpoints.
+///
+/// Costs are expressed in *clock cycles per word* so a checkpoint competes
+/// for exactly the same energy budget as computation: the runtime charges
+/// `fixed + words * cycles_per_word` cycles per commit, and the CPU model
+/// converts cycles to joules at whatever voltage the system is running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmModel {
+    cycles_per_word_write: f64,
+    commit_fixed_cycles: f64,
+}
+
+impl NvmModel {
+    /// Builds a model from per-word write cost and fixed per-commit cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntermittentError::BadParameter`] for non-finite or
+    /// negative costs, or a zero per-word cost (free checkpoints would make
+    /// every policy comparison meaningless).
+    pub fn new(
+        cycles_per_word_write: f64,
+        commit_fixed_cycles: f64,
+    ) -> Result<NvmModel, IntermittentError> {
+        if !cycles_per_word_write.is_finite() || cycles_per_word_write <= 0.0 {
+            return Err(IntermittentError::BadParameter {
+                what: "nvm cycles per word",
+                value: cycles_per_word_write,
+            });
+        }
+        if !commit_fixed_cycles.is_finite() || commit_fixed_cycles < 0.0 {
+            return Err(IntermittentError::BadParameter {
+                what: "nvm fixed commit cycles",
+                value: commit_fixed_cycles,
+            });
+        }
+        Ok(NvmModel {
+            cycles_per_word_write,
+            commit_fixed_cycles,
+        })
+    }
+
+    /// An FRAM-like memory: ~4 cycles per word write plus a 500-cycle
+    /// commit sequence (driver entry, wear-leveled header, barrier).
+    pub fn fram() -> NvmModel {
+        NvmModel::new(4.0, 500.0).expect("reference parameters are valid")
+    }
+
+    /// A flash-like memory: expensive ~200 cycles/word (erase-amortized)
+    /// and a 5 000-cycle commit — the case where checkpointing rarely pays.
+    pub fn flash() -> NvmModel {
+        NvmModel::new(200.0, 5_000.0).expect("reference parameters are valid")
+    }
+
+    /// Cycles to commit a checkpoint of `words` words.
+    pub fn commit_cost(&self, words: usize) -> Cycles {
+        Cycles::new(self.commit_fixed_cycles + self.cycles_per_word_write * words as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(NvmModel::new(0.0, 100.0).is_err());
+        assert!(NvmModel::new(-1.0, 100.0).is_err());
+        assert!(NvmModel::new(4.0, -1.0).is_err());
+        assert!(NvmModel::new(f64::NAN, 0.0).is_err());
+        assert!(NvmModel::new(4.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn commit_cost_is_affine_in_words() {
+        let fram = NvmModel::fram();
+        let small = fram.commit_cost(10);
+        let large = fram.commit_cost(1_010);
+        assert_eq!(small.count(), 500.0 + 40.0);
+        assert_eq!((large - small).count(), 4.0 * 1_000.0);
+    }
+
+    #[test]
+    fn flash_is_much_costlier_than_fram() {
+        let words = 512;
+        assert!(
+            NvmModel::flash().commit_cost(words).count()
+                > 20.0 * NvmModel::fram().commit_cost(words).count()
+        );
+    }
+}

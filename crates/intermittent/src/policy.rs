@@ -1,0 +1,102 @@
+use crate::IntermittentError;
+use hems_units::Volts;
+
+/// When to commit a checkpoint (always evaluated at task boundaries —
+/// tasks are atomic, so mid-task commits would be meaningless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Commit after every task — minimum replay, maximum overhead
+    /// (Alpaca-style task granularity).
+    EveryTask,
+    /// Commit after every `n` tasks.
+    EveryNTasks(usize),
+    /// Commit at a task boundary only when the solar node has sagged below
+    /// `threshold` — Hibernus-style "checkpoint when death looks near".
+    OnLowVoltage {
+        /// Node voltage below which boundaries commit.
+        threshold: Volts,
+    },
+    /// Commit only when a full chain iteration finishes — the
+    /// restart-everything baseline.
+    ChainBoundary,
+}
+
+impl CheckpointPolicy {
+    /// Validates policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntermittentError::BadParameter`] for `EveryNTasks(0)` or
+    /// a non-positive voltage threshold.
+    pub fn validate(&self) -> Result<(), IntermittentError> {
+        match self {
+            CheckpointPolicy::EveryNTasks(0) => Err(IntermittentError::BadParameter {
+                what: "checkpoint interval",
+                value: 0.0,
+            }),
+            CheckpointPolicy::OnLowVoltage { threshold } if !threshold.is_positive() => {
+                Err(IntermittentError::BadParameter {
+                    what: "low-voltage checkpoint threshold",
+                    value: threshold.value(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Should a boundary after finishing `tasks_since_commit` tasks commit,
+    /// given the node voltage and whether the chain iteration just ended?
+    pub fn should_commit(
+        &self,
+        tasks_since_commit: usize,
+        v_solar: Volts,
+        at_chain_boundary: bool,
+    ) -> bool {
+        match self {
+            CheckpointPolicy::EveryTask => true,
+            CheckpointPolicy::EveryNTasks(n) => tasks_since_commit >= *n || at_chain_boundary,
+            CheckpointPolicy::OnLowVoltage { threshold } => {
+                v_solar < *threshold || at_chain_boundary
+            }
+            CheckpointPolicy::ChainBoundary => at_chain_boundary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(CheckpointPolicy::EveryNTasks(0).validate().is_err());
+        assert!(CheckpointPolicy::EveryNTasks(3).validate().is_ok());
+        assert!(CheckpointPolicy::OnLowVoltage {
+            threshold: Volts::ZERO
+        }
+        .validate()
+        .is_err());
+        assert!(CheckpointPolicy::EveryTask.validate().is_ok());
+        assert!(CheckpointPolicy::ChainBoundary.validate().is_ok());
+    }
+
+    #[test]
+    fn commit_decisions() {
+        let v_high = Volts::new(1.1);
+        let v_low = Volts::new(0.6);
+        assert!(CheckpointPolicy::EveryTask.should_commit(1, v_high, false));
+        let every3 = CheckpointPolicy::EveryNTasks(3);
+        assert!(!every3.should_commit(2, v_high, false));
+        assert!(every3.should_commit(3, v_high, false));
+        assert!(every3.should_commit(1, v_high, true)); // chain end commits
+        let adaptive = CheckpointPolicy::OnLowVoltage {
+            threshold: Volts::new(0.8),
+        };
+        assert!(!adaptive.should_commit(5, v_high, false));
+        assert!(adaptive.should_commit(1, v_low, false));
+        assert!(adaptive.should_commit(1, v_high, true));
+        let baseline = CheckpointPolicy::ChainBoundary;
+        assert!(!baseline.should_commit(4, v_low, false));
+        assert!(baseline.should_commit(0, v_high, true));
+    }
+}

@@ -1,0 +1,57 @@
+use hems_units::UnitsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the MPPT algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpptError {
+    /// A tracker parameter failed validation.
+    BadParameter(UnitsError),
+    /// The lookup table could not be built from the photovoltaic model.
+    TableConstruction {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MpptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpptError::BadParameter(e) => write!(f, "invalid mppt parameter: {e}"),
+            MpptError::TableConstruction { reason } => {
+                write!(f, "failed to build mpp lookup table: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MpptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MpptError::BadParameter(e) => Some(e),
+            MpptError::TableConstruction { .. } => None,
+        }
+    }
+}
+
+impl From<UnitsError> for MpptError {
+    fn from(e: UnitsError) -> Self {
+        MpptError::BadParameter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MpptError::TableConstruction {
+            reason: "dark".into(),
+        };
+        assert!(e.to_string().contains("dark"));
+        assert!(e.source().is_none());
+        let e = MpptError::from(UnitsError::BadTable { reason: "x" });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,166 @@
+use crate::{MppTracker, MpptError, Observation};
+use hems_units::{UnitsError, Volts};
+
+/// Fractional open-circuit-voltage tracking (the second classic baseline).
+///
+/// Exploits the near-constant ratio `V_mpp / V_oc ≈ k` of photovoltaic
+/// cells: periodically disconnect the load, sample `V_oc`, then operate at
+/// `k · V_oc` until the next sample. The disconnect windows cost harvest
+/// downtime and the ratio is only approximate — the trade-offs the paper's
+/// time-based scheme sidesteps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalVoc {
+    fraction: f64,
+    fallback: Volts,
+    latest_voc: Option<Volts>,
+}
+
+impl FractionalVoc {
+    /// Builds a tracker operating at `fraction · V_oc`, holding `fallback`
+    /// until the first open-circuit sample arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpptError::BadParameter`] when `fraction` is outside
+    /// `(0, 1)` or the fallback is non-positive.
+    pub fn new(fraction: f64, fallback: Volts) -> Result<FractionalVoc, MpptError> {
+        if !fraction.is_finite() || !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(UnitsError::OutOfRange {
+                what: "voc fraction",
+                value: fraction,
+                min: f64::MIN_POSITIVE,
+                max: 1.0,
+            }
+            .into());
+        }
+        if !fallback.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "fallback voltage",
+                value: fallback.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            }
+            .into());
+        }
+        Ok(FractionalVoc {
+            fraction,
+            fallback,
+            latest_voc: None,
+        })
+    }
+
+    /// The canonical `k = 0.74` tracker for the paper's cell (whose
+    /// MPP sits at ≈ 74 % of `V_oc` at full sun), falling back to 1.0 V.
+    pub fn paper_default() -> FractionalVoc {
+        FractionalVoc::new(0.74, Volts::new(1.0)).expect("reference parameters are valid")
+    }
+
+    /// The configured fraction `k`.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The most recent open-circuit sample, if any.
+    pub fn latest_voc(&self) -> Option<Volts> {
+        self.latest_voc
+    }
+}
+
+impl MppTracker for FractionalVoc {
+    fn name(&self) -> &'static str {
+        "fractional-voc"
+    }
+
+    fn update(&mut self, obs: &Observation) -> Volts {
+        if let Some(voc) = obs.v_oc_sample {
+            if voc.is_positive() {
+                self.latest_voc = Some(voc);
+            }
+        }
+        match self.latest_voc {
+            Some(voc) => voc * self.fraction,
+            None => self.fallback,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.latest_voc = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::{Irradiance, SolarCell};
+    use hems_units::{Efficiency, Seconds, Watts};
+
+    fn obs_with_voc(voc: Option<Volts>) -> Observation {
+        let mut o = Observation::basic(
+            Seconds::ZERO,
+            Volts::new(1.0),
+            Watts::ZERO,
+            Efficiency::UNITY,
+        );
+        o.v_oc_sample = voc;
+        o
+    }
+
+    #[test]
+    fn uses_fallback_until_sampled() {
+        let mut t = FractionalVoc::paper_default();
+        assert_eq!(t.update(&obs_with_voc(None)), Volts::new(1.0));
+        let v = t.update(&obs_with_voc(Some(Volts::new(1.5))));
+        assert!((v.volts() - 1.11).abs() < 1e-9);
+        assert_eq!(t.latest_voc(), Some(Volts::new(1.5)));
+        // Holds the estimate between samples.
+        assert_eq!(t.update(&obs_with_voc(None)), v);
+    }
+
+    #[test]
+    fn fraction_of_true_voc_lands_near_mpp() {
+        for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::QUARTER_SUN] {
+            let cell = SolarCell::kxob22(g);
+            let mpp = cell.mpp().unwrap();
+            let mut t = FractionalVoc::paper_default();
+            let v = t.update(&obs_with_voc(Some(cell.open_circuit_voltage())));
+            let p_tracked = cell.power_at(v);
+            // Within 5% of true MPP power — the known accuracy class of
+            // fractional-Voc tracking.
+            assert!(
+                p_tracked / mpp.power > 0.95,
+                "{g}: tracked {p_tracked:?} vs mpp {:?}",
+                mpp.power
+            );
+        }
+    }
+
+    #[test]
+    fn ignores_bogus_samples() {
+        let mut t = FractionalVoc::paper_default();
+        t.update(&obs_with_voc(Some(Volts::new(1.4))));
+        t.update(&obs_with_voc(Some(Volts::ZERO)));
+        assert_eq!(t.latest_voc(), Some(Volts::new(1.4)));
+    }
+
+    #[test]
+    fn reset_forgets_sample() {
+        let mut t = FractionalVoc::paper_default();
+        t.update(&obs_with_voc(Some(Volts::new(1.4))));
+        t.reset();
+        assert_eq!(t.update(&obs_with_voc(None)), Volts::new(1.0));
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(FractionalVoc::new(0.0, Volts::new(1.0)).is_err());
+        assert!(FractionalVoc::new(1.0, Volts::new(1.0)).is_err());
+        assert!(FractionalVoc::new(f64::NAN, Volts::new(1.0)).is_err());
+        assert!(FractionalVoc::new(0.74, Volts::ZERO).is_err());
+        assert_eq!(FractionalVoc::paper_default().fraction(), 0.74);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FractionalVoc::paper_default().name(), "fractional-voc");
+    }
+}

@@ -1,0 +1,39 @@
+//! Maximum-power-point tracking algorithms.
+//!
+//! Three trackers, matching the paper's Section VI-A discussion:
+//!
+//! * [`PerturbObserve`] — the classic hill-climbing baseline: nudge the
+//!   operating voltage, keep the direction if harvested power rose;
+//! * [`FractionalVoc`] — the open-circuit-fraction baseline: periodically
+//!   sample `Voc` and operate at `k · Voc`;
+//! * [`TimeBasedTracker`] — **the paper's proposal**: derive the input power
+//!   from how long the storage capacitor takes to fall between two
+//!   comparator thresholds (eq. 7), then look the MPP voltage up in a
+//!   precomputed table. No current sensing, no extra circuitry — just the
+//!   board comparators and a timer.
+//!
+//! All trackers implement [`MppTracker`]; the simulator drives them with an
+//! [`Observation`] per control epoch and applies the returned solar-node
+//! voltage target through DVFS (the load *is* the knob in a fully
+//! integrated system).
+
+// `!(a < b)` is used deliberately throughout this workspace: unlike
+// `a >= b` it is `true` when either operand is NaN, which is exactly the
+// reject-by-default behaviour the validation paths want.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fractional_voc;
+mod lut;
+mod perturb_observe;
+mod time_based;
+mod tracker;
+
+pub use error::MpptError;
+pub use fractional_voc::FractionalVoc;
+pub use lut::MppLookupTable;
+pub use perturb_observe::PerturbObserve;
+pub use time_based::TimeBasedTracker;
+pub use tracker::{MppTracker, Observation};

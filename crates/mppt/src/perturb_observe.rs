@@ -1,0 +1,205 @@
+use crate::{MppTracker, MpptError, Observation};
+use hems_units::{UnitsError, Volts, Watts};
+
+/// Classic perturb-and-observe hill climbing (the baseline the paper
+/// compares against, citing active MPPT circuits like its ref.\[11\] and the current
+/// measurement of ref.\[18\]).
+///
+/// Each epoch it perturbs the target voltage by one step; if the measured
+/// harvest power rose since the previous epoch it keeps walking the same
+/// way, otherwise it reverses. Needs a harvest-power measurement
+/// (`Observation::p_solar_measured`), i.e. a current sensor — the cost the
+/// paper's time-based scheme avoids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbObserve {
+    step: Volts,
+    v_min: Volts,
+    v_max: Volts,
+    target: Volts,
+    direction: f64,
+    last_power: Option<Watts>,
+}
+
+impl PerturbObserve {
+    /// Builds a P&O tracker walking in `step` increments within
+    /// `[v_min, v_max]`, starting from the midpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpptError::BadParameter`] for a non-positive step or an
+    /// inverted voltage window.
+    pub fn new(step: Volts, v_min: Volts, v_max: Volts) -> Result<PerturbObserve, MpptError> {
+        if !step.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "perturb step",
+                value: step.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            }
+            .into());
+        }
+        if !(v_min < v_max) || !v_min.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "p&o voltage window",
+                value: v_min.value(),
+                min: f64::MIN_POSITIVE,
+                max: v_max.value(),
+            }
+            .into());
+        }
+        Ok(PerturbObserve {
+            step,
+            v_min,
+            v_max,
+            target: (v_min + v_max) * 0.5,
+            direction: 1.0,
+            last_power: None,
+        })
+    }
+
+    /// A P&O tracker sized for the paper's single-cell system: 25 mV steps
+    /// over 0.5–1.45 V.
+    pub fn paper_default() -> PerturbObserve {
+        PerturbObserve::new(Volts::from_milli(25.0), Volts::new(0.5), Volts::new(1.45))
+            .expect("reference parameters are valid")
+    }
+
+    /// The present target voltage.
+    pub fn target(&self) -> Volts {
+        self.target
+    }
+}
+
+impl MppTracker for PerturbObserve {
+    fn name(&self) -> &'static str {
+        "perturb-observe"
+    }
+
+    fn update(&mut self, obs: &Observation) -> Volts {
+        let Some(power) = obs.p_solar_measured else {
+            // Sensorless epoch: hold the current target.
+            return self.target;
+        };
+        if let Some(last) = self.last_power {
+            if power < last {
+                self.direction = -self.direction;
+            }
+        }
+        self.last_power = Some(power);
+        self.target = (self.target + self.step * self.direction).clamp(self.v_min, self.v_max);
+        self.target
+    }
+
+    fn reset(&mut self) {
+        self.target = (self.v_min + self.v_max) * 0.5;
+        self.direction = 1.0;
+        self.last_power = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::{Irradiance, SolarCell};
+    use hems_units::{Efficiency, Seconds};
+
+    fn observe(cell: &SolarCell, v: Volts, t: f64) -> Observation {
+        let mut obs = Observation::basic(
+            Seconds::new(t),
+            v,
+            Watts::ZERO,
+            Efficiency::UNITY,
+        );
+        obs.p_solar_measured = Some(cell.power_at(v));
+        obs
+    }
+
+    #[test]
+    fn converges_to_the_mpp_neighbourhood() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let mpp = cell.mpp().unwrap();
+        let mut tracker = PerturbObserve::paper_default();
+        let mut v = tracker.target();
+        for i in 0..300 {
+            v = tracker.update(&observe(&cell, v, i as f64 * 1e-3));
+        }
+        // P&O oscillates around the MPP within a couple of steps.
+        assert!(
+            (v - mpp.voltage).abs() < Volts::from_milli(80.0),
+            "settled at {v}, MPP at {}",
+            mpp.voltage
+        );
+    }
+
+    #[test]
+    fn retracks_after_light_change() {
+        let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let mut tracker = PerturbObserve::paper_default();
+        let mut v = tracker.target();
+        for i in 0..200 {
+            v = tracker.update(&observe(&cell, v, i as f64 * 1e-3));
+        }
+        cell.set_irradiance(Irradiance::QUARTER_SUN);
+        let new_mpp = cell.mpp().unwrap();
+        for i in 200..600 {
+            v = tracker.update(&observe(&cell, v, i as f64 * 1e-3));
+        }
+        assert!(
+            (v - new_mpp.voltage).abs() < Volts::from_milli(100.0),
+            "settled at {v}, new MPP at {}",
+            new_mpp.voltage
+        );
+    }
+
+    #[test]
+    fn holds_target_without_measurement() {
+        let mut tracker = PerturbObserve::paper_default();
+        let before = tracker.target();
+        let obs = Observation::basic(
+            Seconds::ZERO,
+            Volts::new(1.0),
+            Watts::ZERO,
+            Efficiency::UNITY,
+        );
+        assert_eq!(tracker.update(&obs), before);
+    }
+
+    #[test]
+    fn stays_within_window() {
+        let cell = SolarCell::kxob22(Irradiance::INDOOR);
+        let mut tracker =
+            PerturbObserve::new(Volts::from_milli(50.0), Volts::new(0.5), Volts::new(1.45))
+                .unwrap();
+        let mut v = tracker.target();
+        for i in 0..200 {
+            v = tracker.update(&observe(&cell, v, i as f64 * 1e-3));
+            assert!(v >= Volts::new(0.5) && v <= Volts::new(1.45));
+        }
+    }
+
+    #[test]
+    fn reset_restores_midpoint() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let mut tracker = PerturbObserve::paper_default();
+        let mut v = tracker.target();
+        for i in 0..50 {
+            v = tracker.update(&observe(&cell, v, i as f64 * 1e-3));
+        }
+        tracker.reset();
+        assert!((tracker.target().volts() - 0.975).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(PerturbObserve::new(Volts::ZERO, Volts::new(0.5), Volts::new(1.0)).is_err());
+        assert!(
+            PerturbObserve::new(Volts::from_milli(25.0), Volts::new(1.0), Volts::new(0.5))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(PerturbObserve::paper_default().name(), "perturb-observe");
+    }
+}

@@ -1,0 +1,333 @@
+use crate::{MppLookupTable, MppTracker, MpptError, Observation};
+use hems_storage::DischargeTimer;
+use hems_units::{Farads, UnitsError, Volts, Watts};
+
+/// The paper's proposed time-based MPP tracker (Section VI-A, Fig. 8).
+///
+/// When the light changes, the storage capacitor's voltage drifts; the
+/// tracker times how long the node takes to *fall* between two comparator
+/// thresholds `V1 > V2` and solves the energy balance of eq. 6 for the
+/// input power (eq. 7):
+///
+/// ```text
+/// P_in = P_drawn + C (V2² - V1²) / (2 t)
+/// ```
+///
+/// where `P_drawn = P_out / η` is the power the regulator was pulling from
+/// the node during the window (known from the DVFS setting) and the second
+/// term — negative during a discharge — is the energy the capacitor
+/// contributed. The estimated `P_in` indexes the [`MppLookupTable`] to get
+/// the new MPP voltage target. No current sensor, no extra circuitry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBasedTracker {
+    capacitance: Farads,
+    timer: DischargeTimer,
+    lut: MppLookupTable,
+    target: Volts,
+    drawn_accumulator: f64,
+    drawn_samples: usize,
+    last_estimate: Option<Watts>,
+}
+
+impl TimeBasedTracker {
+    /// Builds a tracker for a node capacitor of `capacitance`, timing
+    /// discharges from `v1` down to `v2`, starting with target `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpptError::BadParameter`] for a non-positive capacitance,
+    /// non-descending thresholds, or a non-positive initial target.
+    pub fn new(
+        capacitance: Farads,
+        v1: Volts,
+        v2: Volts,
+        lut: MppLookupTable,
+        initial: Volts,
+    ) -> Result<TimeBasedTracker, MpptError> {
+        if !capacitance.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "node capacitance",
+                value: capacitance.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            }
+            .into());
+        }
+        if !(v1 > v2) || !v2.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "comparator thresholds",
+                value: v2.value(),
+                min: f64::MIN_POSITIVE,
+                max: v1.value(),
+            }
+            .into());
+        }
+        if !initial.is_positive() {
+            return Err(UnitsError::OutOfRange {
+                what: "initial target",
+                value: initial.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            }
+            .into());
+        }
+        Ok(TimeBasedTracker {
+            capacitance,
+            timer: DischargeTimer::new(v1, v2),
+            lut,
+            target: initial,
+            drawn_accumulator: 0.0,
+            drawn_samples: 0,
+            last_estimate: None,
+        })
+    }
+
+    /// The paper's Fig. 8 configuration: 100 µF node capacitor, thresholds
+    /// `V1 = 1.0 V`, `V2 = 0.9 V`, the default lookup table, starting at
+    /// the full-sun MPP voltage.
+    pub fn paper_default() -> TimeBasedTracker {
+        TimeBasedTracker::new(
+            Farads::from_micro(100.0),
+            Volts::new(1.0),
+            Volts::new(0.9),
+            MppLookupTable::paper_default(),
+            Volts::new(1.1),
+        )
+        .expect("reference parameters are valid")
+    }
+
+    /// The most recent input-power estimate, if a discharge has completed.
+    pub fn last_estimate(&self) -> Option<Watts> {
+        self.last_estimate
+    }
+
+    /// `true` while a threshold-to-threshold measurement is in flight.
+    ///
+    /// Eq. 7 assumes the drawn power is (near) constant over the window, so
+    /// controllers should hold their DVFS setting while this is `true` —
+    /// measure first, adjust after, as the paper's scheme does.
+    pub fn is_measuring(&self) -> bool {
+        self.timer.is_armed()
+    }
+
+    /// The present voltage target.
+    pub fn target(&self) -> Volts {
+        self.target
+    }
+
+    /// Estimates the input power from a completed threshold traversal
+    /// (paper eq. 7), given the mean drawn power during the window.
+    fn estimate_p_in(
+        &self,
+        v1: Volts,
+        v2: Volts,
+        duration: hems_units::Seconds,
+        p_drawn: Watts,
+    ) -> Watts {
+        let cap_term = self.capacitance.farads()
+            * (v2.volts() * v2.volts() - v1.volts() * v1.volts())
+            / (2.0 * duration.seconds());
+        (p_drawn + Watts::new(cap_term)).max(Watts::ZERO)
+    }
+}
+
+impl MppTracker for TimeBasedTracker {
+    fn name(&self) -> &'static str {
+        "time-based"
+    }
+
+    fn update(&mut self, obs: &Observation) -> Volts {
+        // Track the mean power drawn from the node while the timer is armed.
+        if self.timer.is_armed() {
+            let drawn = obs.efficiency.input_for_output(obs.p_out);
+            if drawn.watts().is_finite() {
+                self.drawn_accumulator += drawn.watts();
+                self.drawn_samples += 1;
+            }
+        }
+        for crossing in &obs.crossings {
+            let was_armed = self.timer.is_armed();
+            if let Some(done) = self.timer.observe(*crossing) {
+                let p_drawn = if self.drawn_samples > 0 {
+                    Watts::new(self.drawn_accumulator / self.drawn_samples as f64)
+                } else {
+                    obs.efficiency.input_for_output(obs.p_out)
+                };
+                let p_in = self.estimate_p_in(done.v_from, done.v_to, done.duration, p_drawn);
+                self.last_estimate = Some(p_in);
+                self.target = self.lut.mpp_voltage(p_in);
+                self.drawn_accumulator = 0.0;
+                self.drawn_samples = 0;
+            } else if !was_armed && self.timer.is_armed() {
+                // Fresh arm: start a fresh mean.
+                self.drawn_accumulator = 0.0;
+                self.drawn_samples = 0;
+            }
+        }
+        self.target
+    }
+
+    fn reset(&mut self) {
+        self.timer.reset();
+        self.drawn_accumulator = 0.0;
+        self.drawn_samples = 0;
+        self.last_estimate = None;
+    }
+
+    fn is_measuring(&self) -> bool {
+        TimeBasedTracker::is_measuring(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::{Irradiance, SolarCell};
+    use hems_storage::{Capacitor, ComparatorBank};
+    use hems_units::{Efficiency, Seconds};
+
+    /// Drives a real capacitor + comparator bank + tracker through a light
+    /// step, the way the simulator does, and returns the tracker.
+    fn run_light_step(g_after: Irradiance, p_drawn_mw: f64) -> TimeBasedTracker {
+        let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let mut cap = Capacitor::paper_board();
+        cap.set_voltage(Volts::new(1.1)).unwrap();
+        let mut bank = ComparatorBank::new(
+            &[Volts::new(1.0), Volts::new(0.9)],
+            Volts::from_milli(2.0),
+        )
+        .unwrap();
+        let mut tracker = TimeBasedTracker::paper_default();
+        let p_drawn = Watts::from_milli(p_drawn_mw);
+        let dt = Seconds::from_micro(50.0);
+        cell.set_irradiance(g_after);
+        for i in 0..20_000 {
+            let now = Seconds::new(i as f64 * dt.seconds());
+            let v = cap.voltage();
+            let p_harvest = cell.power_at(v);
+            cap.step_power(p_harvest - p_drawn, dt);
+            let crossings = bank.update(cap.voltage(), now);
+            let mut obs = Observation::basic(now, cap.voltage(), p_drawn, Efficiency::UNITY);
+            obs.crossings = crossings;
+            tracker.update(&obs);
+            if tracker.last_estimate().is_some() {
+                break;
+            }
+        }
+        tracker
+    }
+
+    #[test]
+    fn estimates_input_power_after_dimming() {
+        // Light drops to quarter sun while the load still draws 8 mW: the
+        // node discharges through both thresholds and the tracker infers
+        // the new input power.
+        let tracker = run_light_step(Irradiance::QUARTER_SUN, 8.0);
+        let est = tracker.last_estimate().expect("discharge observed");
+        // True input power around the 0.9-1.0 V window at quarter sun.
+        let cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+        let truth = cell.power_at(Volts::new(0.95));
+        let err = (est.watts() - truth.watts()).abs() / truth.watts();
+        assert!(
+            err < 0.10,
+            "estimate {est:?} vs truth {truth:?} ({:.1}% error)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn retargets_to_the_new_mpp() {
+        let tracker = run_light_step(Irradiance::QUARTER_SUN, 8.0);
+        let new_mpp = SolarCell::kxob22(Irradiance::QUARTER_SUN)
+            .mpp()
+            .unwrap();
+        assert!(
+            (tracker.target() - new_mpp.voltage).abs() < Volts::from_milli(60.0),
+            "target {} vs new MPP {}",
+            tracker.target(),
+            new_mpp.voltage
+        );
+    }
+
+    #[test]
+    fn estimate_formula_matches_eq7_algebra() {
+        let t = TimeBasedTracker::paper_default();
+        // C = 100 uF, V1=1.0, V2=0.9, t=5 ms, drawn 8 mW:
+        // cap term = 100e-6 * (0.81 - 1.0) / 0.01 = -1.9 mW -> Pin = 6.1 mW.
+        let p = t.estimate_p_in(
+            Volts::new(1.0),
+            Volts::new(0.9),
+            Seconds::from_milli(5.0),
+            Watts::from_milli(8.0),
+        );
+        assert!((p.to_milli() - 6.1).abs() < 1e-9, "got {} mW", p.to_milli());
+    }
+
+    #[test]
+    fn estimate_never_goes_negative() {
+        let t = TimeBasedTracker::paper_default();
+        let p = t.estimate_p_in(
+            Volts::new(1.0),
+            Volts::new(0.9),
+            Seconds::from_micro(10.0),
+            Watts::ZERO,
+        );
+        assert_eq!(p, Watts::ZERO);
+    }
+
+    #[test]
+    fn no_crossings_holds_target() {
+        let mut t = TimeBasedTracker::paper_default();
+        let before = t.target();
+        let obs = Observation::basic(
+            Seconds::ZERO,
+            Volts::new(1.05),
+            Watts::from_milli(5.0),
+            Efficiency::UNITY,
+        );
+        assert_eq!(t.update(&obs), before);
+        assert!(t.last_estimate().is_none());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = run_light_step(Irradiance::HALF_SUN, 10.0);
+        assert!(t.last_estimate().is_some());
+        t.reset();
+        assert!(t.last_estimate().is_none());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let lut = MppLookupTable::paper_default();
+        assert!(TimeBasedTracker::new(
+            Farads::ZERO,
+            Volts::new(1.0),
+            Volts::new(0.9),
+            lut.clone(),
+            Volts::new(1.1)
+        )
+        .is_err());
+        assert!(TimeBasedTracker::new(
+            Farads::from_micro(100.0),
+            Volts::new(0.9),
+            Volts::new(1.0),
+            lut.clone(),
+            Volts::new(1.1)
+        )
+        .is_err());
+        assert!(TimeBasedTracker::new(
+            Farads::from_micro(100.0),
+            Volts::new(1.0),
+            Volts::new(0.9),
+            lut,
+            Volts::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(TimeBasedTracker::paper_default().name(), "time-based");
+    }
+}

@@ -1,0 +1,90 @@
+use hems_storage::Crossing;
+use hems_units::{Efficiency, Seconds, Volts, Watts};
+
+/// Everything a tracker may observe in one control epoch.
+///
+/// In the paper's fully-integrated system the tracker is software on the
+/// microprocessor: it can read the solar-node voltage (via the comparator
+/// ladder / an ADC), knows the power it is presently drawing through the
+/// regulator (its own DVFS setting), and receives comparator crossing
+/// events. It can *not* directly measure the solar current — that is the
+/// whole point of the time-based scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Simulation time of this epoch.
+    pub now: Seconds,
+    /// Solar/storage node voltage.
+    pub v_solar: Volts,
+    /// Power presently delivered to the load (regulator output).
+    pub p_out: Watts,
+    /// Present regulator efficiency.
+    pub efficiency: Efficiency,
+    /// Measured harvest power, available only to trackers that assume a
+    /// current sensor (the P&O baseline). `None` for sensorless setups.
+    pub p_solar_measured: Option<Watts>,
+    /// Open-circuit voltage sample, present only right after a dedicated
+    /// disconnect-and-sample window (the fractional-Voc baseline needs it).
+    pub v_oc_sample: Option<Volts>,
+    /// Comparator crossings observed since the previous epoch.
+    pub crossings: Vec<Crossing>,
+}
+
+impl Observation {
+    /// A minimal observation with only time, node voltage, and load power —
+    /// what a sensorless system always has.
+    pub fn basic(now: Seconds, v_solar: Volts, p_out: Watts, efficiency: Efficiency) -> Self {
+        Observation {
+            now,
+            v_solar,
+            p_out,
+            efficiency,
+            p_solar_measured: None,
+            v_oc_sample: None,
+            crossings: Vec::new(),
+        }
+    }
+}
+
+/// A maximum-power-point tracker.
+///
+/// Implementations return the solar-node voltage they want the system to
+/// hold next; the caller (simulator / controller) realizes it by modulating
+/// the load through DVFS.
+pub trait MppTracker {
+    /// Short human-readable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Consumes one epoch's observation and returns the new target for the
+    /// solar-node voltage.
+    fn update(&mut self, obs: &Observation) -> Volts;
+
+    /// Forgets all adaptive state (e.g. after a brownout restart).
+    fn reset(&mut self);
+
+    /// `true` while the tracker is mid-measurement and the controller
+    /// should hold the operating point steady (e.g. the time-based scheme's
+    /// threshold-to-threshold window, whose eq. 7 assumes constant draw).
+    /// Defaults to `false` for trackers with no such window.
+    fn is_measuring(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_observation_has_no_sensors() {
+        let obs = Observation::basic(
+            Seconds::ZERO,
+            Volts::new(1.0),
+            Watts::from_milli(5.0),
+            Efficiency::UNITY,
+        );
+        assert!(obs.p_solar_measured.is_none());
+        assert!(obs.v_oc_sample.is_none());
+        assert!(obs.crossings.is_empty());
+        assert_eq!(obs.v_solar, Volts::new(1.0));
+    }
+}

@@ -1,0 +1,60 @@
+use hems_units::{SolveError, UnitsError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the photovoltaic model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PvError {
+    /// A model parameter failed validation.
+    BadParameter(UnitsError),
+    /// The implicit diode equation or MPP search failed to converge.
+    Solver(SolveError),
+}
+
+impl fmt::Display for PvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvError::BadParameter(e) => write!(f, "invalid solar cell parameter: {e}"),
+            PvError::Solver(e) => write!(f, "solar cell solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for PvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PvError::BadParameter(e) => Some(e),
+            PvError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<UnitsError> for PvError {
+    fn from(e: UnitsError) -> Self {
+        PvError::BadParameter(e)
+    }
+}
+
+impl From<SolveError> for PvError {
+    fn from(e: SolveError) -> Self {
+        PvError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PvError::from(UnitsError::NotFinite {
+            what: "isc",
+            value: f64::NAN,
+        });
+        assert!(e.to_string().contains("isc"));
+        assert!(e.source().is_some());
+        let e = PvError::from(SolveError::BadBracket { lo: 1.0, hi: 0.0 });
+        assert!(e.to_string().contains("solver"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,156 @@
+use crate::{Irradiance, PvError, SolarCell, SolarCellModel};
+use hems_units::{Amps, UnitsError, Volts, Watts};
+
+/// A panel of identical cells arranged `series x parallel`.
+///
+/// The paper's test PCB carries a single cell; this type is the natural
+/// extension for scaling the harvester to larger loads, and it lets the
+/// benches sweep source capability without touching the cell model: `s`
+/// cells in series multiply voltage, `p` strings in parallel multiply
+/// current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PvArray {
+    cell: SolarCell,
+    series: usize,
+    parallel: usize,
+}
+
+impl PvArray {
+    /// Builds an array of `series x parallel` identical cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvError::BadParameter`] when either count is zero.
+    pub fn new(
+        model: SolarCellModel,
+        irradiance: Irradiance,
+        series: usize,
+        parallel: usize,
+    ) -> Result<PvArray, PvError> {
+        if series == 0 || parallel == 0 {
+            return Err(UnitsError::OutOfRange {
+                what: "array dimensions",
+                value: (series.min(parallel)) as f64,
+                min: 1.0,
+                max: f64::INFINITY,
+            }
+            .into());
+        }
+        Ok(PvArray {
+            cell: SolarCell::new(model, irradiance),
+            series,
+            parallel,
+        })
+    }
+
+    /// A single-cell "array" — electrically identical to the bare cell.
+    pub fn single(model: SolarCellModel, irradiance: Irradiance) -> PvArray {
+        PvArray::new(model, irradiance, 1, 1).expect("1x1 is always valid")
+    }
+
+    /// Number of series cells per string.
+    pub fn series(&self) -> usize {
+        self.series
+    }
+
+    /// Number of parallel strings.
+    pub fn parallel(&self) -> usize {
+        self.parallel
+    }
+
+    /// Changes the light level for every cell.
+    pub fn set_irradiance(&mut self, g: Irradiance) {
+        self.cell.set_irradiance(g);
+    }
+
+    /// Present light level.
+    pub fn irradiance(&self) -> Irradiance {
+        self.cell.irradiance()
+    }
+
+    /// Terminal current at array voltage `v`.
+    pub fn current_at(&self, v: Volts) -> Amps {
+        let per_cell = v / self.series as f64;
+        self.cell.current_at(per_cell) * self.parallel as f64
+    }
+
+    /// Terminal power at array voltage `v`.
+    pub fn power_at(&self, v: Volts) -> Watts {
+        v * self.current_at(v)
+    }
+
+    /// Array open-circuit voltage.
+    pub fn open_circuit_voltage(&self) -> Volts {
+        self.cell.open_circuit_voltage() * self.series as f64
+    }
+
+    /// Array short-circuit current.
+    pub fn short_circuit_current(&self) -> Amps {
+        self.cell.short_circuit_current() * self.parallel as f64
+    }
+
+    /// Array maximum power point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvError::Solver`] in darkness, as for [`SolarCell::mpp`].
+    pub fn mpp(&self) -> Result<crate::Mpp, PvError> {
+        let cell_mpp = self.cell.mpp()?;
+        Ok(crate::Mpp {
+            voltage: cell_mpp.voltage * self.series as f64,
+            current: cell_mpp.current * self.parallel as f64,
+            power: cell_mpp.power * (self.series * self.parallel) as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 0, 1).is_err());
+        assert!(PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 1, 0).is_err());
+    }
+
+    #[test]
+    fn single_matches_bare_cell() {
+        let array = PvArray::single(SolarCellModel::kxob22(), Irradiance::FULL_SUN);
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        for v in [0.0, 0.5, 1.0, 1.4] {
+            assert_eq!(
+                array.current_at(Volts::new(v)),
+                cell.current_at(Volts::new(v))
+            );
+        }
+    }
+
+    #[test]
+    fn series_scales_voltage_parallel_scales_current() {
+        let array =
+            PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 3, 2).unwrap();
+        assert_eq!(array.series(), 3);
+        assert_eq!(array.parallel(), 2);
+        let voc = array.open_circuit_voltage();
+        assert!((voc.volts() - 4.5).abs() < 0.06);
+        let isc = array.short_circuit_current();
+        assert!((isc.to_milli() - 30.0).abs() < 0.01);
+        let mpp = array.mpp().unwrap();
+        let single_mpp = SolarCell::kxob22(Irradiance::FULL_SUN).mpp().unwrap();
+        assert!(
+            (mpp.power.watts() - 6.0 * single_mpp.power.watts()).abs()
+                < 0.01 * single_mpp.power.watts()
+        );
+    }
+
+    #[test]
+    fn irradiance_update_propagates() {
+        let mut array =
+            PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 2, 2).unwrap();
+        let before = array.power_at(Volts::new(2.0));
+        array.set_irradiance(Irradiance::QUARTER_SUN);
+        assert_eq!(array.irradiance(), Irradiance::QUARTER_SUN);
+        assert!(array.power_at(Volts::new(2.0)).watts() < before.watts() / 2.0);
+    }
+}

@@ -1,0 +1,131 @@
+use crate::{
+    BuckRegulator, Bypass, Conversion, Ldo, Regulator, RegulatorError, RegulatorKind,
+    ScRegulator,
+};
+use hems_units::{Volts, Watts};
+
+/// A clonable sum type over every regulator topology.
+///
+/// The simulator and the holistic controller switch between regulator modes
+/// at runtime (regulated vs bypass, Section VI-B); `AnyRegulator` lets them
+/// hold and swap models by value without trait objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyRegulator {
+    /// Linear regulator.
+    Ldo(Ldo),
+    /// Switched-capacitor converter.
+    SwitchedCapacitor(ScRegulator),
+    /// Inductive buck converter.
+    Buck(BuckRegulator),
+    /// Direct connection.
+    Bypass(Bypass),
+}
+
+impl AnyRegulator {
+    /// The paper's three on-chip regulator candidates plus bypass, in the
+    /// order Section III presents them.
+    pub fn paper_lineup() -> Vec<AnyRegulator> {
+        vec![
+            AnyRegulator::from(Ldo::paper_65nm()),
+            AnyRegulator::from(ScRegulator::paper_65nm()),
+            AnyRegulator::from(BuckRegulator::paper_65nm()),
+            AnyRegulator::from(Bypass::ideal()),
+        ]
+    }
+
+    fn inner(&self) -> &dyn Regulator {
+        match self {
+            AnyRegulator::Ldo(r) => r,
+            AnyRegulator::SwitchedCapacitor(r) => r,
+            AnyRegulator::Buck(r) => r,
+            AnyRegulator::Bypass(r) => r,
+        }
+    }
+}
+
+impl Regulator for AnyRegulator {
+    fn kind(&self) -> RegulatorKind {
+        self.inner().kind()
+    }
+
+    fn convert(
+        &self,
+        v_in: Volts,
+        v_out: Volts,
+        p_out: Watts,
+    ) -> Result<Conversion, RegulatorError> {
+        self.inner().convert(v_in, v_out, p_out)
+    }
+
+    fn output_range(&self, v_in: Volts) -> (Volts, Volts) {
+        self.inner().output_range(v_in)
+    }
+}
+
+impl From<Ldo> for AnyRegulator {
+    fn from(r: Ldo) -> Self {
+        AnyRegulator::Ldo(r)
+    }
+}
+
+impl From<ScRegulator> for AnyRegulator {
+    fn from(r: ScRegulator) -> Self {
+        AnyRegulator::SwitchedCapacitor(r)
+    }
+}
+
+impl From<BuckRegulator> for AnyRegulator {
+    fn from(r: BuckRegulator) -> Self {
+        AnyRegulator::Buck(r)
+    }
+}
+
+impl From<Bypass> for AnyRegulator {
+    fn from(r: Bypass) -> Self {
+        AnyRegulator::Bypass(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_has_all_four_kinds() {
+        let kinds: Vec<_> = AnyRegulator::paper_lineup()
+            .iter()
+            .map(|r| r.kind())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RegulatorKind::Ldo,
+                RegulatorKind::SwitchedCapacitor,
+                RegulatorKind::Buck,
+                RegulatorKind::Bypass
+            ]
+        );
+    }
+
+    #[test]
+    fn delegation_matches_concrete_model() {
+        let sc = ScRegulator::paper_65nm();
+        let any = AnyRegulator::from(sc.clone());
+        let v_in = Volts::new(1.2);
+        let v_out = Volts::new(0.55);
+        let p = Watts::from_milli(10.0);
+        assert_eq!(
+            any.convert(v_in, v_out, p).unwrap(),
+            sc.convert(v_in, v_out, p).unwrap()
+        );
+        assert_eq!(any.output_range(v_in), sc.output_range(v_in));
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(RegulatorKind::Ldo.to_string(), "LDO");
+        assert_eq!(RegulatorKind::SwitchedCapacitor.to_string(), "SC");
+        assert_eq!(RegulatorKind::Buck.to_string(), "buck");
+        assert_eq!(RegulatorKind::Bypass.to_string(), "bypass");
+    }
+}

@@ -1,0 +1,135 @@
+use crate::{Conversion, Regulator, RegulatorError, RegulatorKind};
+use hems_units::{Efficiency, Volts, Watts};
+
+/// Direct connection from the harvesting rail to the load — the regulator
+/// shorted out.
+///
+/// Sections IV-B and VI-B of the paper show two situations where this "null
+/// regulator" wins: under low light, where the real converters' light-load
+/// inefficiency exceeds the benefit of MPP operation (Fig. 7a), and at the
+/// end of a capacitor discharge, where bypassing extends operation by ~20 %
+/// (Figs. 9b, 11b). In bypass the load voltage *is* the rail voltage, so
+/// `convert` only accepts `v_out ≈ v_in` (within a configurable switch
+/// drop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bypass {
+    v_switch_drop: Volts,
+}
+
+impl Bypass {
+    /// A bypass path through a power switch with the given drop.
+    pub fn new(v_switch_drop: Volts) -> Bypass {
+        Bypass {
+            v_switch_drop: v_switch_drop.max(Volts::ZERO),
+        }
+    }
+
+    /// An ideal bypass with no switch drop.
+    pub fn ideal() -> Bypass {
+        Bypass::new(Volts::ZERO)
+    }
+
+    /// The switch drop.
+    pub fn v_switch_drop(&self) -> Volts {
+        self.v_switch_drop
+    }
+}
+
+impl Default for Bypass {
+    fn default() -> Self {
+        Bypass::ideal()
+    }
+}
+
+impl Regulator for Bypass {
+    fn kind(&self) -> RegulatorKind {
+        RegulatorKind::Bypass
+    }
+
+    fn convert(
+        &self,
+        v_in: Volts,
+        v_out: Volts,
+        p_out: Watts,
+    ) -> Result<Conversion, RegulatorError> {
+        if !p_out.value().is_finite() || p_out.value() < 0.0 {
+            return Err(RegulatorError::InvalidLoad {
+                p_out: p_out.value(),
+            });
+        }
+        let expected = v_in - self.v_switch_drop;
+        if !v_out.is_positive() || (v_out - expected).abs() > Volts::from_milli(1.0) {
+            return Err(RegulatorError::UnsupportedOperatingPoint {
+                kind: "bypass",
+                v_in: v_in.volts(),
+                v_out: v_out.volts(),
+                reason: "bypass forces the load voltage to the rail voltage",
+            });
+        }
+        // Only the switch drop is lost: P_in = I * V_in, P_out = I * V_out.
+        let efficiency = Efficiency::saturating(expected / v_in);
+        Ok(Conversion {
+            p_in: efficiency.input_for_output(p_out),
+            efficiency,
+        })
+    }
+
+    fn output_range(&self, v_in: Volts) -> (Volts, Volts) {
+        let v = v_in - self.v_switch_drop;
+        if v.is_positive() {
+            (v, v)
+        } else {
+            (Volts::ZERO, Volts::ZERO)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_bypass_is_lossless() {
+        let b = Bypass::ideal();
+        let c = b
+            .convert(Volts::new(0.9), Volts::new(0.9), Watts::from_milli(4.0))
+            .unwrap();
+        assert_eq!(c.efficiency, Efficiency::UNITY);
+        assert!((c.p_in.to_milli() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_drop_costs_its_ratio() {
+        let b = Bypass::new(Volts::from_milli(50.0));
+        let c = b
+            .convert(Volts::new(1.0), Volts::new(0.95), Watts::from_milli(9.5))
+            .unwrap();
+        assert!((c.efficiency.ratio() - 0.95).abs() < 1e-9);
+        assert!((c.p_in.to_milli() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_decoupled_output_voltage() {
+        let b = Bypass::ideal();
+        assert!(matches!(
+            b.convert(Volts::new(1.0), Volts::new(0.55), Watts::from_milli(1.0)),
+            Err(RegulatorError::UnsupportedOperatingPoint { .. })
+        ));
+    }
+
+    #[test]
+    fn output_range_is_degenerate() {
+        let b = Bypass::new(Volts::from_milli(50.0));
+        let (lo, hi) = b.output_range(Volts::new(1.0));
+        assert_eq!(lo, hi);
+        assert!((lo.volts() - 0.95).abs() < 1e-12);
+        assert_eq!(b.output_range(Volts::new(0.04)), (Volts::ZERO, Volts::ZERO));
+    }
+
+    #[test]
+    fn negative_drop_clamps_to_zero() {
+        let b = Bypass::new(Volts::new(-0.5));
+        assert_eq!(b.v_switch_drop(), Volts::ZERO);
+        assert_eq!(Bypass::default(), Bypass::ideal());
+    }
+}

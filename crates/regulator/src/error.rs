@@ -1,0 +1,86 @@
+use hems_units::UnitsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by regulator models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegulatorError {
+    /// The `(v_in, v_out)` pair cannot be served by this topology.
+    UnsupportedOperatingPoint {
+        /// Topology name for diagnostics.
+        kind: &'static str,
+        /// Requested input rail voltage.
+        v_in: f64,
+        /// Requested output voltage.
+        v_out: f64,
+        /// Explanation of the violated constraint.
+        reason: &'static str,
+    },
+    /// The requested load power is negative or non-finite.
+    InvalidLoad {
+        /// The offending load in watts.
+        p_out: f64,
+    },
+    /// A model parameter failed validation at construction.
+    BadParameter(UnitsError),
+}
+
+impl fmt::Display for RegulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegulatorError::UnsupportedOperatingPoint {
+                kind,
+                v_in,
+                v_out,
+                reason,
+            } => write!(
+                f,
+                "{kind} cannot convert {v_in} V -> {v_out} V: {reason}"
+            ),
+            RegulatorError::InvalidLoad { p_out } => {
+                write!(f, "load power must be finite and non-negative, got {p_out} W")
+            }
+            RegulatorError::BadParameter(e) => write!(f, "invalid regulator parameter: {e}"),
+        }
+    }
+}
+
+impl Error for RegulatorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RegulatorError::BadParameter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitsError> for RegulatorError {
+    fn from(e: UnitsError) -> Self {
+        RegulatorError::BadParameter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RegulatorError::UnsupportedOperatingPoint {
+            kind: "LDO",
+            v_in: 0.5,
+            v_out: 0.6,
+            reason: "output exceeds input minus dropout",
+        };
+        let s = e.to_string();
+        assert!(s.contains("LDO") && s.contains("dropout"));
+        let e = RegulatorError::InvalidLoad { p_out: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn bad_parameter_chains_source() {
+        let e = RegulatorError::from(UnitsError::BadTable { reason: "x" });
+        assert!(e.source().is_some());
+    }
+}

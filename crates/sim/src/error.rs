@@ -1,0 +1,67 @@
+use hems_units::UnitsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when assembling or configuring a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration parameter failed validation.
+    BadParameter(UnitsError),
+    /// A sub-model rejected its configuration.
+    Component {
+        /// Which component rejected it.
+        which: &'static str,
+        /// The component's own error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadParameter(e) => write!(f, "invalid simulation parameter: {e}"),
+            SimError::Component { which, message } => {
+                write!(f, "{which} rejected its configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::BadParameter(e) => Some(e),
+            SimError::Component { .. } => None,
+        }
+    }
+}
+
+impl From<UnitsError> for SimError {
+    fn from(e: UnitsError) -> Self {
+        SimError::BadParameter(e)
+    }
+}
+
+impl SimError {
+    /// Wraps a component error with its origin.
+    pub fn component(which: &'static str, err: impl fmt::Display) -> SimError {
+        SimError::Component {
+            which,
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::component("capacitor", "too small");
+        assert!(e.to_string().contains("capacitor"));
+        assert!(e.source().is_none());
+        let e = SimError::from(UnitsError::BadTable { reason: "x" });
+        assert!(e.source().is_some());
+    }
+}

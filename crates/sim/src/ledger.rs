@@ -1,0 +1,92 @@
+use hems_units::{Joules, Seconds};
+
+/// Cumulative energy accounting over a simulation run.
+///
+/// The paper's claims are energy ratios ("31 % more power extracted",
+/// "10 % more energy absorbed from solar", "20 % extended operation") — the
+/// ledger is what the benches compute those ratios from.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyLedger {
+    /// Energy extracted from the solar cell.
+    pub harvested: Joules,
+    /// Energy delivered into the processor's supply rail.
+    pub delivered_to_cpu: Joules,
+    /// Energy dissipated in the regulator (harvest-side minus delivered,
+    /// for the regulated fraction of time).
+    pub regulator_loss: Joules,
+    /// Energy burnt by the always-on board overhead (comparators,
+    /// supervisor).
+    pub standby_loss: Joules,
+    /// Time the processor spent executing.
+    pub active_time: Seconds,
+    /// Time the processor spent browned out (supply too low).
+    pub brownout_time: Seconds,
+    /// Time the processor was deliberately asleep.
+    pub sleep_time: Seconds,
+    /// Total simulated time.
+    pub total_time: Seconds,
+}
+
+impl EnergyLedger {
+    /// A zeroed ledger.
+    pub fn new() -> EnergyLedger {
+        EnergyLedger::default()
+    }
+
+    /// Fraction of total time the processor was executing.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.total_time.is_positive() {
+            self.active_time / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end conversion efficiency: delivered / harvested.
+    pub fn conversion_efficiency(&self) -> f64 {
+        if self.harvested.is_positive() {
+            self.delivered_to_cpu / self.harvested
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean power delivered to the processor over the whole run.
+    pub fn mean_delivered_power(&self) -> hems_units::Watts {
+        if self.total_time.is_positive() {
+            self.delivered_to_cpu / self.total_time
+        } else {
+            hems_units::Watts::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_ledger() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.duty_cycle(), 0.0);
+        assert_eq!(l.conversion_efficiency(), 0.0);
+        assert_eq!(l.mean_delivered_power(), hems_units::Watts::ZERO);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let l = EnergyLedger {
+            harvested: Joules::new(10.0),
+            delivered_to_cpu: Joules::new(7.0),
+            regulator_loss: Joules::new(2.5),
+            standby_loss: Joules::new(0.5),
+            active_time: Seconds::new(6.0),
+            brownout_time: Seconds::new(1.0),
+            sleep_time: Seconds::new(3.0),
+            total_time: Seconds::new(10.0),
+        };
+        assert!((l.duty_cycle() - 0.6).abs() < 1e-12);
+        assert!((l.conversion_efficiency() - 0.7).abs() < 1e-12);
+        assert!((l.mean_delivered_power().watts() - 0.7).abs() < 1e-12);
+    }
+}

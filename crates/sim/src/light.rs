@@ -1,0 +1,284 @@
+use hems_pv::Irradiance;
+use hems_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic irradiance-vs-time profile driving the solar cell.
+///
+/// Profiles cover the paper's evaluation conditions: constant light levels
+/// (Figs. 2–7), the sudden dimming step of Figs. 8 and 11b, plus richer
+/// traces (ramps, a diurnal arc, seeded random clouds) for the examples and
+/// robustness tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LightProfile {
+    /// Constant irradiance.
+    Constant {
+        /// The light level.
+        level: Irradiance,
+    },
+    /// A step change at a given time — "light dimmed due to an obstacle".
+    Step {
+        /// Level before the step.
+        before: Irradiance,
+        /// Level after the step.
+        after: Irradiance,
+        /// When the step occurs.
+        at: Seconds,
+    },
+    /// Linear ramp between two levels over a window, constant outside it.
+    Ramp {
+        /// Level before the ramp starts.
+        from: Irradiance,
+        /// Level after the ramp ends.
+        to: Irradiance,
+        /// Ramp start time.
+        start: Seconds,
+        /// Ramp end time.
+        end: Seconds,
+    },
+    /// A half-sine diurnal arc: dark at `t=0` and `t=day_length`, peaking
+    /// in the middle.
+    Diurnal {
+        /// Peak (solar-noon) irradiance.
+        peak: Irradiance,
+        /// Length of the daylight period.
+        day_length: Seconds,
+    },
+    /// Seeded random cloud cover: a random walk between `floor` and `ceil`,
+    /// resampled every `period` and linearly interpolated.
+    Clouds {
+        /// Minimum irradiance (heaviest cloud).
+        floor: Irradiance,
+        /// Maximum irradiance (clear patch).
+        ceil: Irradiance,
+        /// Resampling period of the walk.
+        period: Seconds,
+        /// RNG seed — same seed, same weather.
+        seed: u64,
+        /// Pre-sampled walk values (deterministic, derived from the seed).
+        samples: Vec<f64>,
+    },
+}
+
+impl LightProfile {
+    /// Constant light.
+    pub fn constant(level: Irradiance) -> LightProfile {
+        LightProfile::Constant { level }
+    }
+
+    /// A dimming (or brightening) step at `at`.
+    pub fn step(before: Irradiance, after: Irradiance, at: Seconds) -> LightProfile {
+        LightProfile::Step { before, after, at }
+    }
+
+    /// A linear ramp from `from` to `to` over `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn ramp(from: Irradiance, to: Irradiance, start: Seconds, end: Seconds) -> LightProfile {
+        assert!(end > start, "ramp needs end > start");
+        LightProfile::Ramp {
+            from,
+            to,
+            start,
+            end,
+        }
+    }
+
+    /// A half-sine daylight arc peaking at `peak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_length` is not positive.
+    pub fn diurnal(peak: Irradiance, day_length: Seconds) -> LightProfile {
+        assert!(day_length.is_positive(), "day length must be positive");
+        LightProfile::Diurnal { peak, day_length }
+    }
+
+    /// Seeded random cloud cover over `horizon` (the walk repeats beyond
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is inverted or the period is not positive.
+    pub fn clouds(
+        floor: Irradiance,
+        ceil: Irradiance,
+        period: Seconds,
+        horizon: Seconds,
+        seed: u64,
+    ) -> LightProfile {
+        assert!(floor <= ceil, "cloud band is inverted");
+        assert!(period.is_positive(), "cloud period must be positive");
+        let n = (horizon.seconds() / period.seconds()).ceil() as usize + 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        let mut level = (floor.fraction() + ceil.fraction()) * 0.5;
+        let swing = (ceil.fraction() - floor.fraction()).max(1e-9);
+        for _ in 0..n {
+            level += rng.gen_range(-0.35..0.35) * swing;
+            level = level.clamp(floor.fraction(), ceil.fraction());
+            samples.push(level);
+        }
+        LightProfile::Clouds {
+            floor,
+            ceil,
+            period,
+            seed,
+            samples,
+        }
+    }
+
+    /// The irradiance at time `t` (clamped to `t = 0` for negative times).
+    pub fn at(&self, t: Seconds) -> Irradiance {
+        let t = t.max(Seconds::ZERO);
+        match self {
+            LightProfile::Constant { level } => *level,
+            LightProfile::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            LightProfile::Ramp {
+                from,
+                to,
+                start,
+                end,
+            } => {
+                if t <= *start {
+                    *from
+                } else if t >= *end {
+                    *to
+                } else {
+                    let frac = (t - *start) / (*end - *start);
+                    Irradiance::new(
+                        from.fraction() + (to.fraction() - from.fraction()) * frac,
+                    )
+                    .expect("interpolation of valid levels stays valid")
+                }
+            }
+            LightProfile::Diurnal { peak, day_length } => {
+                let phase = (t / *day_length).clamp(0.0, 1.0);
+                let level = peak.fraction() * (std::f64::consts::PI * phase).sin().max(0.0);
+                Irradiance::new(level).expect("sine of valid peak stays valid")
+            }
+            LightProfile::Clouds {
+                period, samples, ..
+            } => {
+                let pos = t / *period;
+                let i = (pos.floor() as usize) % samples.len();
+                let j = (i + 1) % samples.len();
+                let frac = pos - pos.floor();
+                let level = samples[i] + (samples[j] - samples[i]) * frac;
+                Irradiance::new(level.clamp(0.0, 2.0)).expect("clamped level is valid")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = LightProfile::constant(Irradiance::HALF_SUN);
+        assert_eq!(p.at(Seconds::ZERO), Irradiance::HALF_SUN);
+        assert_eq!(p.at(Seconds::new(1e6)), Irradiance::HALF_SUN);
+    }
+
+    #[test]
+    fn step_switches_exactly_at_t() {
+        let p = LightProfile::step(
+            Irradiance::FULL_SUN,
+            Irradiance::QUARTER_SUN,
+            Seconds::from_milli(10.0),
+        );
+        assert_eq!(p.at(Seconds::from_milli(9.999)), Irradiance::FULL_SUN);
+        assert_eq!(p.at(Seconds::from_milli(10.0)), Irradiance::QUARTER_SUN);
+        assert_eq!(p.at(Seconds::from_milli(50.0)), Irradiance::QUARTER_SUN);
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let p = LightProfile::ramp(
+            Irradiance::DARK,
+            Irradiance::FULL_SUN,
+            Seconds::new(1.0),
+            Seconds::new(3.0),
+        );
+        assert_eq!(p.at(Seconds::ZERO), Irradiance::DARK);
+        assert!((p.at(Seconds::new(2.0)).fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(p.at(Seconds::new(5.0)), Irradiance::FULL_SUN);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_noon_and_is_dark_at_edges() {
+        let p = LightProfile::diurnal(Irradiance::FULL_SUN, Seconds::new(100.0));
+        assert!(p.at(Seconds::ZERO).fraction() < 1e-9);
+        assert!((p.at(Seconds::new(50.0)).fraction() - 1.0).abs() < 1e-9);
+        assert!(p.at(Seconds::new(100.0)).fraction() < 1e-9);
+        // Morning and afternoon are symmetric.
+        let am = p.at(Seconds::new(25.0));
+        let pm = p.at(Seconds::new(75.0));
+        assert!((am.fraction() - pm.fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clouds_are_deterministic_and_banded() {
+        let mk = || {
+            LightProfile::clouds(
+                Irradiance::QUARTER_SUN,
+                Irradiance::FULL_SUN,
+                Seconds::new(1.0),
+                Seconds::new(60.0),
+                1234,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        for i in 0..600 {
+            let t = Seconds::new(i as f64 * 0.1);
+            assert_eq!(a.at(t), b.at(t));
+            let g = a.at(t);
+            assert!(g >= Irradiance::QUARTER_SUN && g <= Irradiance::FULL_SUN);
+        }
+        let c = LightProfile::clouds(
+            Irradiance::QUARTER_SUN,
+            Irradiance::FULL_SUN,
+            Seconds::new(1.0),
+            Seconds::new(60.0),
+            99,
+        );
+        // Different seed, different weather (at least somewhere).
+        let differs = (0..600).any(|i| {
+            let t = Seconds::new(i as f64 * 0.1);
+            a.at(t) != c.at(t)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn negative_time_clamps_to_zero() {
+        let p = LightProfile::step(
+            Irradiance::FULL_SUN,
+            Irradiance::DARK,
+            Seconds::from_milli(1.0),
+        );
+        assert_eq!(p.at(Seconds::new(-5.0)), Irradiance::FULL_SUN);
+    }
+
+    #[test]
+    #[should_panic(expected = "end > start")]
+    fn ramp_validates_window() {
+        let _ = LightProfile::ramp(
+            Irradiance::DARK,
+            Irradiance::FULL_SUN,
+            Seconds::new(3.0),
+            Seconds::new(1.0),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+use hems_units::UnitsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by storage and monitoring components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A parameter failed validation.
+    BadParameter(UnitsError),
+    /// A voltage assignment exceeded the component's rating.
+    OverVoltage {
+        /// The requested voltage in volts.
+        requested: f64,
+        /// The component's maximum rating in volts.
+        rating: f64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BadParameter(e) => write!(f, "invalid storage parameter: {e}"),
+            StorageError::OverVoltage { requested, rating } => write!(
+                f,
+                "voltage {requested} V exceeds the {rating} V rating"
+            ),
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::BadParameter(e) => Some(e),
+            StorageError::OverVoltage { .. } => None,
+        }
+    }
+}
+
+impl From<UnitsError> for StorageError {
+    fn from(e: UnitsError) -> Self {
+        StorageError::BadParameter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StorageError::OverVoltage {
+            requested: 2.0,
+            rating: 1.2,
+        };
+        assert!(e.to_string().contains("rating"));
+        assert!(e.source().is_none());
+        let e = StorageError::from(UnitsError::BadTable { reason: "x" });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! Energy storage and monitoring: the capacitor that replaces the battery,
+//! and the comparator bank that watches it.
+//!
+//! The paper's system is battery-less: a small capacitor at the solar-cell
+//! output buffers energy (Section II), and "multiple comparators with less
+//! than 0.1 µW power … serve as a simplified energy monitor to the solar
+//! cells" (Section VII). Two of the paper's key mechanisms live here:
+//!
+//! * the **capacitor node dynamics** the simulator integrates
+//!   (`C dV/dt = I_in - I_out`), with the energy bookkeeping `E = ½CV²`;
+//! * the **threshold-crossing timer** of the proposed MPP-tracking scheme
+//!   (Section VI-A, eqs. 6–7): measure how long the node takes to fall from
+//!   comparator threshold `V1` to `V2` and infer the harvested power without
+//!   any current sensor.
+//!
+//! ```
+//! use hems_storage::Capacitor;
+//! use hems_units::{Amps, Farads, Seconds, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cap = Capacitor::new(Farads::from_micro(100.0), Volts::new(1.2))?;
+//! cap.set_voltage(Volts::new(1.0))?;
+//! // 1 mA net discharge for 10 ms drops V by I*t/C = 0.1 V.
+//! cap.step(Amps::from_milli(-1.0), Seconds::from_milli(10.0));
+//! assert!((cap.voltage().volts() - 0.9).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacitor;
+mod comparator;
+mod error;
+mod federated;
+mod timer;
+
+pub use capacitor::Capacitor;
+pub use comparator::{Comparator, ComparatorBank, Crossing, Edge};
+pub use error::StorageError;
+pub use federated::FederatedStorage;
+pub use timer::{DischargeObservation, DischargeTimer};

@@ -1,0 +1,207 @@
+use crate::{Crossing, Edge};
+use hems_units::{Seconds, Volts};
+
+/// A completed threshold-to-threshold traversal measurement.
+///
+/// This is the raw observable of the paper's proposed MPP-tracking scheme
+/// (Section VI-A): "the time that voltage drops across a predefined
+/// threshold" — from comparator `V1` down to `V2` in Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeObservation {
+    /// The higher threshold where timing started.
+    pub v_from: Volts,
+    /// The lower threshold where timing stopped.
+    pub v_to: Volts,
+    /// Time taken to traverse between the thresholds.
+    pub duration: Seconds,
+}
+
+/// Pairs falling-edge crossings of two comparator thresholds into timed
+/// discharge observations.
+///
+/// Feed it every [`Crossing`] a [`crate::ComparatorBank`] reports; it arms
+/// on a falling edge through `v_start` and completes on the next falling
+/// edge through `v_stop`. A rising edge through `v_start` (the node
+/// recovered) disarms it, so partial discharges never produce bogus
+/// observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DischargeTimer {
+    v_start: Volts,
+    v_stop: Volts,
+    armed_at: Option<Seconds>,
+}
+
+impl DischargeTimer {
+    /// Builds a timer between two thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_start <= v_stop`; the timer measures *discharge*.
+    pub fn new(v_start: Volts, v_stop: Volts) -> DischargeTimer {
+        assert!(
+            v_start > v_stop,
+            "discharge timer needs v_start > v_stop (got {v_start} -> {v_stop})"
+        );
+        DischargeTimer {
+            v_start,
+            v_stop,
+            armed_at: None,
+        }
+    }
+
+    /// The arming (higher) threshold.
+    pub fn v_start(&self) -> Volts {
+        self.v_start
+    }
+
+    /// The completing (lower) threshold.
+    pub fn v_stop(&self) -> Volts {
+        self.v_stop
+    }
+
+    /// `true` while a discharge is being timed.
+    pub fn is_armed(&self) -> bool {
+        self.armed_at.is_some()
+    }
+
+    /// Processes one crossing; returns an observation when a full
+    /// `v_start -> v_stop` discharge completes.
+    pub fn observe(&mut self, crossing: Crossing) -> Option<DischargeObservation> {
+        let matches_start = (crossing.threshold - self.v_start).abs() < Volts::from_milli(1.0);
+        let matches_stop = (crossing.threshold - self.v_stop).abs() < Volts::from_milli(1.0);
+        match (crossing.edge, matches_start, matches_stop) {
+            (Edge::Falling, true, _) => {
+                self.armed_at = Some(crossing.at);
+                None
+            }
+            (Edge::Rising, true, _) => {
+                // Node recovered above the start threshold: disarm.
+                self.armed_at = None;
+                None
+            }
+            (Edge::Falling, _, true) => {
+                let started = self.armed_at.take()?;
+                let duration = crossing.at - started;
+                if duration.value() <= 0.0 {
+                    return None;
+                }
+                Some(DischargeObservation {
+                    v_from: self.v_start,
+                    v_to: self.v_stop,
+                    duration,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Disarms the timer.
+    pub fn reset(&mut self) {
+        self.armed_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn falling(threshold: f64, at_ms: f64) -> Crossing {
+        Crossing {
+            index: 0,
+            threshold: Volts::new(threshold),
+            edge: Edge::Falling,
+            at: Seconds::from_milli(at_ms),
+        }
+    }
+
+    fn rising(threshold: f64, at_ms: f64) -> Crossing {
+        Crossing {
+            edge: Edge::Rising,
+            ..falling(threshold, at_ms)
+        }
+    }
+
+    #[test]
+    fn times_a_complete_discharge() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        assert!(t.observe(falling(1.0, 2.0)).is_none());
+        assert!(t.is_armed());
+        let obs = t.observe(falling(0.9, 5.5)).unwrap();
+        assert!((obs.duration.to_milli() - 3.5).abs() < 1e-12);
+        assert_eq!(obs.v_from, Volts::new(1.0));
+        assert_eq!(obs.v_to, Volts::new(0.9));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn recovery_disarms() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        t.observe(falling(1.0, 2.0));
+        t.observe(rising(1.0, 3.0)); // node bounced back up
+        assert!(!t.is_armed());
+        assert!(t.observe(falling(0.9, 9.0)).is_none());
+    }
+
+    #[test]
+    fn stop_without_arm_is_ignored() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        assert!(t.observe(falling(0.9, 1.0)).is_none());
+    }
+
+    #[test]
+    fn unrelated_thresholds_are_ignored() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        t.observe(falling(1.0, 2.0));
+        assert!(t.observe(falling(1.1, 2.5)).is_none());
+        assert!(t.is_armed());
+        assert!(t.observe(falling(0.9, 4.0)).is_some());
+    }
+
+    #[test]
+    fn rearming_restarts_the_clock() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        t.observe(falling(1.0, 2.0));
+        t.observe(falling(1.0, 6.0)); // re-armed later (e.g. after recovery glitch)
+        let obs = t.observe(falling(0.9, 7.0)).unwrap();
+        assert!((obs.duration.to_milli() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_disarms() {
+        let mut t = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        t.observe(falling(1.0, 2.0));
+        t.reset();
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    #[should_panic(expected = "v_start > v_stop")]
+    fn rejects_inverted_thresholds() {
+        let _ = DischargeTimer::new(Volts::new(0.9), Volts::new(1.0));
+    }
+
+    #[test]
+    fn end_to_end_with_comparator_bank() {
+        use crate::ComparatorBank;
+        let mut bank = ComparatorBank::paper_board();
+        let mut timer = DischargeTimer::new(Volts::new(1.0), Volts::new(0.9));
+        // Simulate a ramp from 1.15 V down to 0.85 V over 6 ms.
+        let mut obs = None;
+        for i in 0..=60 {
+            let at = Seconds::from_micro(i as f64 * 100.0);
+            let v = Volts::new(1.15 - 0.3 * i as f64 / 60.0);
+            for crossing in bank.update(v, at) {
+                if let Some(o) = timer.observe(crossing) {
+                    obs = Some(o);
+                }
+            }
+        }
+        let obs = obs.expect("a full discharge was observed");
+        // The ramp covers 0.1 V (1.0 -> 0.9) in 2 ms (0.05 V/ms).
+        assert!(
+            (obs.duration.to_milli() - 2.0).abs() < 0.2,
+            "duration {} ms",
+            obs.duration.to_milli()
+        );
+    }
+}

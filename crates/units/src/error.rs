@@ -1,0 +1,150 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or combining quantities with invalid values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitsError {
+    /// A value expected to be finite was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value fell outside its permitted range.
+    OutOfRange {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A lookup table was constructed from malformed data.
+    BadTable {
+        /// Explanation of the defect.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for UnitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitsError::NotFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            UnitsError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} must be in [{min}, {max}], got {value}"),
+            UnitsError::BadTable { reason } => write!(f, "malformed table: {reason}"),
+        }
+    }
+}
+
+impl Error for UnitsError {}
+
+/// Error raised by the numeric solvers in [`crate::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The supplied bracket does not contain a sign change.
+    NoSignChange {
+        /// Function value at the lower bracket end.
+        f_lo: f64,
+        /// Function value at the upper bracket end.
+        f_hi: f64,
+    },
+    /// The bracket is degenerate (`lo >= hi`) or non-finite.
+    BadBracket {
+        /// Lower bracket end.
+        lo: f64,
+        /// Upper bracket end.
+        hi: f64,
+    },
+    /// The iteration limit was reached before convergence.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Best estimate when iteration stopped.
+        best: f64,
+    },
+    /// The objective returned a non-finite value during iteration.
+    NonFiniteObjective {
+        /// Argument at which the objective misbehaved.
+        at: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoSignChange { f_lo, f_hi } => write!(
+                f,
+                "bracket does not straddle a root: f(lo)={f_lo}, f(hi)={f_hi}"
+            ),
+            SolveError::BadBracket { lo, hi } => {
+                write!(f, "invalid bracket [{lo}, {hi}]")
+            }
+            SolveError::NoConvergence { iterations, best } => write!(
+                f,
+                "no convergence after {iterations} iterations (best estimate {best})"
+            ),
+            SolveError::NonFiniteObjective { at } => {
+                write!(f, "objective returned a non-finite value at {at}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_error_display_is_lowercase_and_informative() {
+        let e = UnitsError::NotFinite {
+            what: "capacitance",
+            value: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("capacitance"));
+        assert!(s.contains("finite"));
+    }
+
+    #[test]
+    fn out_of_range_display_mentions_bounds() {
+        let e = UnitsError::OutOfRange {
+            what: "efficiency",
+            value: 1.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("efficiency"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn solve_error_display() {
+        let e = SolveError::NoSignChange { f_lo: 1.0, f_hi: 2.0 };
+        assert!(e.to_string().contains("straddle"));
+        let e = SolveError::NoConvergence {
+            iterations: 7,
+            best: 0.5,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UnitsError>();
+        assert_send_sync::<SolveError>();
+    }
+}

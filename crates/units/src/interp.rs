@@ -1,0 +1,281 @@
+//! Validated piecewise-linear lookup tables.
+//!
+//! The paper's proposed MPP-tracking scheme (Section VI-A) maps a measured
+//! input power to a maximum-power-point voltage through "a look-up table".
+//! [`LinearTable`] is that table: strictly-increasing knots validated at
+//! construction, linear interpolation between knots, clamped evaluation
+//! outside the knot range.
+
+use crate::UnitsError;
+
+/// A piecewise-linear function defined by `(x, y)` knots with strictly
+/// increasing `x`.
+///
+/// ```
+/// use hems_units::LinearTable;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = LinearTable::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(t.eval(0.5), 5.0);
+/// assert_eq!(t.eval(1.5), 25.0);
+/// assert_eq!(t.eval(-3.0), 0.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Builds a table from parallel knot vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::BadTable`] when the vectors differ in length,
+    /// hold fewer than two knots, contain non-finite values, or when `xs` is
+    /// not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, UnitsError> {
+        if xs.len() != ys.len() {
+            return Err(UnitsError::BadTable {
+                reason: "x and y knot vectors differ in length",
+            });
+        }
+        if xs.len() < 2 {
+            return Err(UnitsError::BadTable {
+                reason: "at least two knots are required",
+            });
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(UnitsError::BadTable {
+                reason: "knots must be finite",
+            });
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(UnitsError::BadTable {
+                reason: "x knots must be strictly increasing",
+            });
+        }
+        Ok(LinearTable { xs, ys })
+    }
+
+    /// Builds a table by sampling `f` at `n` evenly spaced points on
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::BadTable`] when `n < 2`, the interval is
+    /// degenerate, or `f` returns a non-finite value.
+    pub fn from_fn(
+        lo: f64,
+        hi: f64,
+        n: usize,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Result<Self, UnitsError> {
+        if n < 2 || !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(UnitsError::BadTable {
+                reason: "sampling requires n >= 2 and a finite lo < hi",
+            });
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        let xs: Vec<f64> = (0..n).map(|i| lo + step * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        Self::new(xs, ys)
+    }
+
+    /// Evaluates the table at `x`, clamping to the first/last knot outside
+    /// the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // partition_point returns the index of the first knot > x.
+        let hi = self.xs.partition_point(|&k| k <= x);
+        let lo = hi - 1;
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// The inclusive domain covered by the knots.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("validated non-empty"))
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always `false`: a validated table holds at least two knots.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over `(x, y)` knot pairs.
+    pub fn knots(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    /// Returns the knot x at which the tabulated y is largest.
+    ///
+    /// Ties resolve to the smallest such x.
+    pub fn argmax(&self) -> (f64, f64) {
+        let mut best = 0;
+        for i in 1..self.ys.len() {
+            if self.ys[i] > self.ys[best] {
+                best = i;
+            }
+        }
+        (self.xs[best], self.ys[best])
+    }
+
+    /// Builds the inverse table `y -> x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::BadTable`] unless `y` is strictly monotonic
+    /// (either direction) over the knots.
+    pub fn inverse(&self) -> Result<LinearTable, UnitsError> {
+        let increasing = self.ys.windows(2).all(|w| w[0] < w[1]);
+        let decreasing = self.ys.windows(2).all(|w| w[0] > w[1]);
+        if increasing {
+            LinearTable::new(self.ys.clone(), self.xs.clone())
+        } else if decreasing {
+            let mut ys = self.ys.clone();
+            let mut xs = self.xs.clone();
+            ys.reverse();
+            xs.reverse();
+            LinearTable::new(ys, xs)
+        } else {
+            Err(UnitsError::BadTable {
+                reason: "table is not strictly monotonic; cannot invert",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp() -> LinearTable {
+        LinearTable::new(vec![0.0, 1.0, 3.0], vec![2.0, 4.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert!(LinearTable::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearTable::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(LinearTable::new(vec![1.0, 1.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![0.0, 1.0], vec![0.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn interpolates_between_knots() {
+        let t = ramp();
+        assert_eq!(t.eval(0.0), 2.0);
+        assert_eq!(t.eval(0.5), 3.0);
+        assert_eq!(t.eval(1.0), 4.0);
+        assert_eq!(t.eval(2.0), 2.0);
+        assert_eq!(t.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let t = ramp();
+        assert_eq!(t.eval(-10.0), 2.0);
+        assert_eq!(t.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn domain_len_knots() {
+        let t = ramp();
+        assert_eq!(t.domain(), (0.0, 3.0));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let knots: Vec<_> = t.knots().collect();
+        assert_eq!(knots, vec![(0.0, 2.0), (1.0, 4.0), (3.0, 0.0)]);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = ramp();
+        assert_eq!(t.argmax(), (1.0, 4.0));
+    }
+
+    #[test]
+    fn from_fn_samples_evenly() {
+        let t = LinearTable::from_fn(0.0, 2.0, 5, |x| x * x).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.eval(1.0), 1.0);
+        // Between knots the quadratic is approximated linearly.
+        let mid = t.eval(0.25);
+        assert!((mid - (0.0 + 0.25) / 2.0 * 0.5).abs() < 0.2);
+        assert!(LinearTable::from_fn(0.0, 0.0, 5, |x| x).is_err());
+        assert!(LinearTable::from_fn(0.0, 1.0, 1, |x| x).is_err());
+    }
+
+    #[test]
+    fn inverse_of_increasing_table() {
+        let t = LinearTable::new(vec![0.0, 1.0, 2.0], vec![10.0, 20.0, 40.0]).unwrap();
+        let inv = t.inverse().unwrap();
+        assert_eq!(inv.eval(20.0), 1.0);
+        assert_eq!(inv.eval(30.0), 1.5);
+    }
+
+    #[test]
+    fn inverse_of_decreasing_table() {
+        let t = LinearTable::new(vec![0.0, 1.0, 2.0], vec![40.0, 20.0, 10.0]).unwrap();
+        let inv = t.inverse().unwrap();
+        assert_eq!(inv.eval(20.0), 1.0);
+        assert_eq!(inv.eval(15.0), 1.5);
+    }
+
+    #[test]
+    fn inverse_rejects_non_monotonic() {
+        assert!(ramp().inverse().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_within_y_hull(x in -5.0f64..8.0) {
+            let t = ramp();
+            let y = t.eval(x);
+            prop_assert!((0.0..=4.0).contains(&y));
+        }
+
+        #[test]
+        fn eval_matches_knots_exactly(
+            knots in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..20)
+        ) {
+            let mut xs: Vec<f64> = knots.iter().map(|k| k.0).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup();
+            prop_assume!(xs.len() >= 2);
+            let ys: Vec<f64> = knots.iter().take(xs.len()).map(|k| k.1).collect();
+            let t = LinearTable::new(xs.clone(), ys.clone()).unwrap();
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                prop_assert!((t.eval(*x) - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn increasing_inverse_round_trips(y0 in 0.0f64..1.0, step in 0.1f64..2.0) {
+            let xs = vec![0.0, 1.0, 2.0, 3.0];
+            let ys: Vec<f64> = xs.iter().map(|x| y0 + step * x).collect();
+            let t = LinearTable::new(xs, ys).unwrap();
+            let inv = t.inverse().unwrap();
+            for x in [0.0, 0.7, 1.3, 2.9, 3.0] {
+                let round = inv.eval(t.eval(x));
+                prop_assert!((round - x).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Typed physical quantities and small numeric solvers.
+//!
+//! Every other crate in this workspace expresses its public API in terms of
+//! the newtypes defined here ([`Volts`], [`Amps`], [`Watts`], [`Joules`],
+//! [`Hertz`], [`Seconds`], [`Farads`], …) so that dimensional mistakes are
+//! compile errors rather than silent bugs. Arithmetic between quantities is
+//! implemented only where it is dimensionally sound:
+//!
+//! ```
+//! use hems_units::{Volts, Amps, Watts, Seconds};
+//!
+//! let p: Watts = Volts::new(0.55) * Amps::new(0.010);
+//! let e = p * Seconds::new(0.015);
+//! assert!((e.joules() - 0.55 * 0.010 * 0.015).abs() < 1e-12);
+//! ```
+//!
+//! The [`solve`] module provides the bracketed root finder and 1-D minimizers
+//! used throughout the workspace (photovoltaic operating-point solution,
+//! minimum-energy-point search, deadline feasibility), and [`interp`] provides
+//! the validated piecewise-linear tables used for lookup-table based MPP
+//! tracking.
+
+// `!(a < b)` is used deliberately throughout this workspace: unlike
+// `a >= b` it is `true` when either operand is NaN, which is exactly the
+// reject-by-default behaviour the validation paths want.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod interp;
+mod quantity;
+mod ratio;
+pub mod solve;
+
+pub use error::{SolveError, UnitsError};
+pub use interp::LinearTable;
+pub use quantity::{
+    Amps, Coulombs, Cycles, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts,
+};
+pub use ratio::Efficiency;

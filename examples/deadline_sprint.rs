@@ -1,0 +1,92 @@
+//! Deadline-constrained operation with sprinting and regulator bypass —
+//! the paper's Section VI-B / Fig. 11b story as a runnable scenario.
+//!
+//! A recognition job must finish by a hard deadline just as a shadow falls
+//! over the cell. We plan the job analytically (eqs. 8–11), then run three
+//! schedules and compare energy intake and completion.
+//!
+//! ```text
+//! cargo run --release --example deadline_sprint
+//! ```
+
+use hems_core::deadline::DeadlineSolver;
+use hems_core::{HolisticController, Mode, SprintPlan};
+use hems_cpu::Microprocessor;
+use hems_pv::{Irradiance, SolarCell};
+use hems_regulator::ScRegulator;
+use hems_sim::{Controller, FixedVoltageController, Job, LightProfile, Simulation, SystemConfig};
+use hems_storage::Capacitor;
+use hems_units::{Cycles, Seconds, Volts, Watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cycles = Cycles::new(2.0e6); // two frames of work
+    let deadline = Seconds::from_milli(50.0);
+
+    // --- Analytic plan (eqs. 8-11): what completion time is achievable? ---
+    let cell = SolarCell::kxob22(Irradiance::HALF_SUN);
+    let sc = ScRegulator::paper_65nm();
+    let cpu = Microprocessor::paper_65nm();
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.2))?;
+    let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+    let plan = solver.solve(cycles)?;
+    println!("== analytic deadline plan (eqs. 8-11, half sun) ==");
+    println!(
+        "fastest achievable: {:.1} ms at {:.3} V / {:.1} MHz",
+        plan.completion_time.to_milli(),
+        plan.vdd.volts(),
+        plan.frequency.to_mega()
+    );
+    println!(
+        "energy at intersection: required {:.1} uJ, available {:.1} uJ",
+        plan.e_required.to_micro(),
+        plan.e_available.to_micro()
+    );
+
+    // --- Sprint analysis (eqs. 12-13) on the dimmed transient. ---
+    let dim = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+    let sprint = SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0))?;
+    let cmp = sprint.compare_against_constant(&dim, &cap, Seconds::from_micro(20.0));
+    println!("\n== sprint analysis (eqs. 12-13, quarter sun transient) ==");
+    println!(
+        "solar energy: constant {:.1} uJ vs sprint {:.1} uJ ({:+.1}%)",
+        cmp.e_solar_constant.to_micro(),
+        cmp.e_solar_sprint.to_micro(),
+        cmp.extra_energy_fraction() * 100.0
+    );
+
+    // --- End-to-end: run the Fig. 11b scenario under three controllers. ---
+    let run = |name: &str, ctl: &mut dyn Controller| -> Result<(), Box<dyn std::error::Error>> {
+        let config = SystemConfig::paper_sc_system()?;
+        let light = LightProfile::step(
+            Irradiance::FULL_SUN,
+            Irradiance::HALF_SUN,
+            Seconds::from_milli(10.0),
+        );
+        let mut sim = Simulation::new(config, light, Volts::new(1.2))?;
+        sim.enqueue(Job::with_deadline(cycles, deadline));
+        let summary = sim.run(ctl, Seconds::from_milli(55.0));
+        let met = sim.jobs().missed_deadlines(sim.now()).is_empty()
+            && summary.completed_jobs == 1;
+        println!(
+            "{name:>26}: {} | harvested {:6.1} uJ | active {:5.1} ms | brownouts {}",
+            if met { "deadline MET   " } else { "deadline MISSED" },
+            summary.ledger.harvested.to_micro(),
+            summary.ledger.active_time.to_milli(),
+            summary.brownouts
+        );
+        Ok(())
+    };
+
+    println!("\n== end-to-end: 2 Mcycle job, 50 ms deadline, light dims at 10 ms ==");
+    let mut naive = FixedVoltageController::new(Volts::new(0.7));
+    run("fixed 0.70 V", &mut naive)?;
+    let mut steady = FixedVoltageController::new(Volts::new(0.5));
+    run("fixed 0.50 V", &mut steady)?;
+    let mut holistic = HolisticController::paper_default(Mode::Deadline {
+        deadline,
+        beta: 0.2,
+    });
+    run("holistic sprint+bypass", &mut holistic)?;
+    Ok(())
+}

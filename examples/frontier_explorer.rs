@@ -1,0 +1,91 @@
+//! Explore the energy-performance frontier and pick an operating point for
+//! a target frame rate.
+//!
+//! The paper gives two recipes — run as fast as the harvest allows
+//! (Section IV) or as cheap as physics allows (Section V). A deployment
+//! usually has a *requirement* instead: "N detector frames per second".
+//! This example prints the sustainable Pareto frontier, then selects the
+//! cheapest point meeting a target detector throughput, and verifies the
+//! choice in simulation with the heavy sliding-window workload.
+//!
+//! ```text
+//! cargo run --release --example frontier_explorer
+//! ```
+
+use hems_core::frontier::{pareto_front, sustainable_frontier};
+use hems_cpu::Microprocessor;
+use hems_imgproc::{Frame, Shape, WindowDetector};
+use hems_pv::{Irradiance, SolarCell};
+use hems_regulator::ScRegulator;
+use hems_sim::{FixedVoltageController, Job, LightProfile, Simulation, SystemConfig};
+use hems_units::{Seconds, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let sc = ScRegulator::paper_65nm();
+    let cpu = Microprocessor::paper_65nm();
+
+    // The heavy workload: one sliding-window detector pass per frame.
+    let detector = WindowDetector::paper_default()?;
+    let frame = Frame::synthetic_shape(64, 64, Shape::Disc, 1)?;
+    let cost = detector.detection_cost(&frame);
+    println!(
+        "detector frame cost: {:.2} Mcycles ({} windows)",
+        cost.count() / 1e6,
+        detector.window_count(64, 64)
+    );
+
+    // The sustainable frontier under full sun through the SC regulator.
+    let sweep = sustainable_frontier(&cell, &sc, &cpu, 64)?;
+    let front = pareto_front(&sweep);
+    println!("\nPareto frontier (full sun, SC regulator):");
+    println!("  Vdd (V)   f (MHz)  E/cyc (pJ)  detector fps");
+    for p in &front {
+        println!(
+            "  {:7.3}  {:8.1}  {:10.1}  {:12.1}",
+            p.vdd.volts(),
+            p.frequency.to_mega(),
+            p.energy_per_cycle.value() * 1e12,
+            p.frequency.hertz() / cost.count()
+        );
+    }
+
+    // Requirement: 25 detector frames per second.
+    const TARGET_FPS: f64 = 25.0;
+    let needed_hz = TARGET_FPS * cost.count();
+    let choice = front
+        .iter()
+        .filter(|p| p.frequency.hertz() >= needed_hz)
+        .min_by(|a, b| a.energy_per_cycle.partial_cmp(&b.energy_per_cycle).unwrap());
+    let Some(choice) = choice else {
+        println!("\nno sustainable point reaches {TARGET_FPS} fps — lower the target");
+        return Ok(());
+    };
+    println!(
+        "\ncheapest point meeting {TARGET_FPS} fps: {:.3} V at {:.1} MHz",
+        choice.vdd.volts(),
+        choice.frequency.to_mega()
+    );
+
+    // Verify in simulation: run one second at the chosen point and count
+    // completed detector frames.
+    let config = SystemConfig::paper_sc_system()?;
+    let light = LightProfile::constant(Irradiance::FULL_SUN);
+    let mut sim = Simulation::new(config, light, Volts::new(1.1))?;
+    for _ in 0..((TARGET_FPS * 2.0) as usize) {
+        sim.enqueue(Job::new(cost));
+    }
+    let mut ctl = FixedVoltageController::with_clock_fraction(
+        choice.vdd,
+        choice.clock_fraction,
+    );
+    let summary = sim.run(&mut ctl, Seconds::new(1.0));
+    println!(
+        "simulated 1 s: {} detector frames completed (target {TARGET_FPS}), \
+         {} brownouts, final node {:.3} V",
+        summary.completed_jobs,
+        summary.brownouts,
+        summary.final_v_solar.volts()
+    );
+    Ok(())
+}

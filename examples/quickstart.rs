@@ -1,0 +1,75 @@
+//! Quickstart: assemble the battery-less energy-harvesting SoC, run it for
+//! half a simulated second under the holistic controller, and print what
+//! happened.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hems_core::{HolisticController, Mode};
+use hems_pv::Irradiance;
+use hems_sim::{LightProfile, Simulation, SystemConfig};
+use hems_units::{Seconds, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's hardware: IXYS-like solar cell, 100 uF storage capacitor,
+    // 65 nm switched-capacitor regulator, pattern-recognition processor.
+    let config = SystemConfig::paper_sc_system()?;
+
+    // Outdoor light that dims to a quarter midway through the run.
+    let light = LightProfile::step(
+        Irradiance::FULL_SUN,
+        Irradiance::QUARTER_SUN,
+        Seconds::from_milli(250.0),
+    );
+
+    let mut sim = Simulation::new(config, light, Volts::new(1.1))?;
+    sim.enable_recorder(200);
+
+    // The paper's contribution: holistic max-performance management with
+    // time-based MPP tracking and low-light bypass.
+    let mut controller = HolisticController::paper_default(Mode::MaxPerformance);
+    let summary = sim.run(&mut controller, Seconds::from_milli(500.0));
+
+    println!("== battery-less SoC, 500 ms under the holistic controller ==");
+    println!(
+        "harvested        : {:8.1} uJ",
+        summary.ledger.harvested.to_micro()
+    );
+    println!(
+        "delivered to CPU : {:8.1} uJ ({:.0}% end-to-end)",
+        summary.ledger.delivered_to_cpu.to_micro(),
+        summary.ledger.conversion_efficiency() * 100.0
+    );
+    println!(
+        "cycles executed  : {:8.2} Mcycles",
+        summary.total_cycles.count() / 1e6
+    );
+    println!(
+        "duty cycle       : {:8.1} %",
+        summary.ledger.duty_cycle() * 100.0
+    );
+    println!("brownouts        : {:8}", summary.brownouts);
+    println!(
+        "final node       : {:8.3} V (bypassed: {})",
+        summary.final_v_solar.volts(),
+        controller.is_bypassed()
+    );
+
+    println!("\nevents:");
+    for event in sim.events().events().iter().take(12) {
+        println!("  t={:7.1} ms  {}", event.at.to_milli(), event.kind);
+    }
+
+    println!("\nwaveform (decimated):");
+    for sample in sim.recorder().expect("recorder enabled").samples().iter().step_by(5) {
+        println!(
+            "  t={:6.1} ms  V_solar={:5.3} V  Vdd={:5.3} V  f={:6.1} MHz",
+            sample.t.to_milli(),
+            sample.v_solar.volts(),
+            sample.vdd.volts(),
+            sample.frequency.to_mega()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Regression pins for every calibration anchor in DESIGN.md.
+//!
+//! These are deliberately *tight* (unlike the band assertions in the unit
+//! tests): if a model refactor moves any anchor the paper quotes, this
+//! suite names exactly which one.
+
+use hems_repro::cpu::Microprocessor;
+use hems_repro::pv::{Irradiance, SolarCell};
+use hems_repro::regulator::{BuckRegulator, Ldo, Regulator, ScRegulator};
+use hems_repro::units::{Volts, Watts};
+
+fn eta(r: &dyn Regulator, v_out: f64, p_mw: f64) -> f64 {
+    r.efficiency(Volts::new(1.2), Volts::new(v_out), Watts::from_milli(p_mw))
+        .expect("anchor operating point is valid")
+        .percent()
+}
+
+#[test]
+fn regulator_anchor_points() {
+    // Fig. 3: LDO 45% @ 0.55 V (ours 45.8% = 0.55/1.2).
+    assert!((eta(&Ldo::paper_65nm(), 0.55, 10.0) - 45.8).abs() < 0.2);
+    // Fig. 4: SC 67% / 64% @ 0.55 V.
+    assert!((eta(&ScRegulator::paper_65nm(), 0.55, 10.0) - 67.0).abs() < 0.5);
+    assert!((eta(&ScRegulator::paper_65nm(), 0.55, 5.0) - 64.0).abs() < 0.5);
+    // Fig. 5: buck 63% / 58% @ 0.55 V.
+    assert!((eta(&BuckRegulator::paper_65nm(), 0.55, 10.0) - 63.0).abs() < 0.5);
+    assert!((eta(&BuckRegulator::paper_65nm(), 0.55, 5.0) - 58.0).abs() < 0.5);
+}
+
+#[test]
+fn solar_cell_anchor_points() {
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    assert!((cell.short_circuit_current().to_milli() - 15.0).abs() < 0.05);
+    assert!((cell.open_circuit_voltage().volts() - 1.5).abs() < 0.02);
+    let mpp = cell.mpp().expect("full sun has an MPP");
+    assert!((mpp.voltage.volts() - 1.113).abs() < 0.01, "{}", mpp.voltage);
+    assert!((mpp.power.to_milli() - 14.13).abs() < 0.1, "{:?}", mpp.power);
+}
+
+#[test]
+fn processor_anchor_points() {
+    let cpu = Microprocessor::paper_65nm();
+    // Fig. 11a: ~1.2 GHz at 1.0 V.
+    let f_top = cpu.max_frequency(Volts::new(1.0));
+    assert!((f_top.hertz() / 1e9 - 1.2).abs() < 0.005);
+    // 66.7 MHz at 0.5 V -> 15 ms per 1.0 Mcycle frame.
+    let f_half = cpu.max_frequency(Volts::new(0.5));
+    assert!((f_half.to_mega() - 66.667).abs() < 0.05);
+    // ~10 mW full load at 0.55 V (10.33 mW = 9.90 dynamic + 0.43 leakage).
+    let p = cpu.power_at_max_speed(Volts::new(0.55)).unwrap();
+    assert!((p.to_milli() - 10.33).abs() < 0.1, "{:?}", p);
+    // Conventional MEP at 0.459 V.
+    let mep = cpu.conventional_mep().unwrap();
+    assert!((mep.vdd.volts() - 0.459).abs() < 0.005, "{}", mep.vdd);
+}
+
+#[test]
+fn holistic_anchor_points() {
+    use hems_repro::core::{mep, optimal_voltage};
+    let cpu = Microprocessor::paper_65nm();
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let sc = ScRegulator::paper_65nm();
+    // Fig. 6b reproduction values (see EXPERIMENTS.md).
+    let plan = optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).unwrap();
+    let baseline = optimal_voltage::unregulated_baseline(&cell, &cpu).unwrap();
+    assert!((baseline.vdd.volts() - 0.533).abs() < 0.005);
+    assert!((plan.vdd.volts() - 0.548).abs() < 0.005);
+    assert!((plan.power_gain_vs(&baseline) - 1.255).abs() < 0.02);
+    assert!((plan.speedup_vs(&baseline) - 1.197).abs() < 0.02);
+    // Fig. 7b reproduction values.
+    let cmp = mep::compare_meps(&cpu, &sc, Volts::new(1.1)).unwrap();
+    assert!((cmp.holistic.vdd.volts() - 0.519).abs() < 0.005, "{}", cmp.holistic.vdd);
+    assert!((cmp.energy_savings() - 0.258).abs() < 0.02, "{}", cmp.energy_savings());
+}

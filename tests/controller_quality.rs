@@ -1,0 +1,60 @@
+//! Regression pins on the holistic controller's closed-loop quality:
+//! it must stay within a few percent of a light-omniscient oracle.
+//!
+//! These guards exist because controller regressions are silent — every
+//! behavioural test can pass while the loop quietly limit-cycles away 25 %
+//! of the throughput (which is exactly what happened during development;
+//! see DESIGN.md section 7).
+
+use hems_repro::core::{optimal_voltage, HolisticController, Mode};
+use hems_repro::cpu::Microprocessor;
+use hems_repro::pv::{Irradiance, SolarCell};
+use hems_repro::regulator::ScRegulator;
+use hems_repro::sim::{Controller, FixedVoltageController, LightProfile, Simulation, SystemConfig};
+use hems_repro::units::{Seconds, Volts};
+
+/// Runs a controller for 2 s of constant light; returns executed megacycles.
+fn run(g: Irradiance, ctl: &mut dyn Controller) -> f64 {
+    let mut config = SystemConfig::paper_sc_system().expect("valid config");
+    config.cell = SolarCell::kxob22(g);
+    let mut sim =
+        Simulation::new(config, LightProfile::constant(g), Volts::new(1.1)).expect("valid sim");
+    sim.run(ctl, Seconds::new(2.0)).total_cycles.count() / 1e6
+}
+
+fn oracle_fraction(g: Irradiance) -> f64 {
+    let cell = SolarCell::kxob22(g);
+    let cpu = Microprocessor::paper_65nm();
+    let sc = ScRegulator::paper_65nm();
+    let plan = optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).expect("feasible");
+    let mut oracle = FixedVoltageController::with_clock_fraction(
+        plan.vdd,
+        (plan.clock_fraction * 0.99).clamp(1e-3, 1.0),
+    );
+    let oracle_cycles = run(g, &mut oracle);
+    let mut holistic = HolisticController::paper_default(Mode::MaxPerformance);
+    let holistic_cycles = run(g, &mut holistic);
+    holistic_cycles / oracle_cycles
+}
+
+#[test]
+fn holistic_is_near_oracle_at_full_sun() {
+    let fraction = oracle_fraction(Irradiance::FULL_SUN);
+    assert!(
+        fraction > 0.93,
+        "holistic achieved only {:.1}% of the full-sun oracle",
+        fraction * 100.0
+    );
+}
+
+#[test]
+fn holistic_is_near_oracle_at_half_sun() {
+    // This case crosses the SC ratio cliff; it pins the ratio-aware
+    // target floor and the recalibration machinery.
+    let fraction = oracle_fraction(Irradiance::HALF_SUN);
+    assert!(
+        fraction > 0.90,
+        "holistic achieved only {:.1}% of the half-sun oracle",
+        fraction * 100.0
+    );
+}

@@ -1,0 +1,130 @@
+//! Integration tests asserting the paper's headline numbers end-to-end,
+//! through the `hems_repro` facade (which also exercises the re-exports).
+
+use hems_repro::core::{analysis, mep, BypassPolicy, SprintPlan};
+use hems_repro::cpu::Microprocessor;
+use hems_repro::imgproc::{Frame, RecognitionPipeline, Shape};
+use hems_repro::pv::{Irradiance, SolarCell, SolarCellModel};
+use hems_repro::regulator::ScRegulator;
+use hems_repro::storage::Capacitor;
+use hems_repro::units::{Seconds, Volts, Watts};
+
+#[test]
+fn headline_sc_gains_match_fig6() {
+    // Paper Fig. 6b: "31% more power ... 18% speedup" with the SC regulator
+    // under outdoor strong light.
+    let cpu = Microprocessor::paper_65nm();
+    let h = analysis::headline_numbers(&cpu).expect("full sun analysis");
+    assert!(
+        (0.15..0.45).contains(&h.sc_power_gain),
+        "SC power gain {:.1}% (paper ~31%)",
+        h.sc_power_gain * 100.0
+    );
+    assert!(
+        (0.05..0.35).contains(&h.sc_speedup),
+        "SC speedup {:.1}% (paper ~18%)",
+        h.sc_speedup * 100.0
+    );
+}
+
+#[test]
+fn headline_mep_savings_match_fig7b() {
+    // Paper Section V: MEP shifts up by "up to 0.1V" for "up to 31% energy
+    // reduction compared with using conventional MEP".
+    let cpu = Microprocessor::paper_65nm();
+    let h = analysis::headline_numbers(&cpu).expect("full sun analysis");
+    assert!(
+        (0.15..0.40).contains(&h.mep_savings),
+        "MEP savings {:.1}% (paper: up to 31%)",
+        h.mep_savings * 100.0
+    );
+    assert!(
+        (0.03..0.12).contains(&h.mep_shift_volts),
+        "MEP shift {:.0} mV (paper: up to 100 mV)",
+        h.mep_shift_volts * 1e3
+    );
+}
+
+#[test]
+fn ldo_never_beats_the_raw_cell() {
+    // Paper Section IV-A: the LDO's linear efficiency cancels the MPP gain.
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    let cpu = Microprocessor::paper_65nm();
+    let a = analysis::fig6(&cell, &cpu).expect("feasible");
+    let ldo = a
+        .plan(hems_repro::regulator::RegulatorKind::Ldo)
+        .expect("LDO plan");
+    assert!(ldo.power_gain_vs(&a.unregulated) < 1.0);
+}
+
+#[test]
+fn bypass_crossover_sits_near_quarter_sun() {
+    // Paper Fig. 7a: regulation wins at 100%/50% light, bypass below ~25%.
+    let policy = BypassPolicy::calibrate(
+        &SolarCellModel::kxob22(),
+        &ScRegulator::paper_65nm(),
+        &Microprocessor::paper_65nm(),
+        Irradiance::new(0.05).unwrap(),
+        Irradiance::FULL_SUN,
+    )
+    .expect("crossover exists");
+    let g = policy.crossover().fraction();
+    assert!((0.2..0.6).contains(&g), "crossover at {:.0}% sun", g * 100.0);
+    assert!(policy.should_bypass(Irradiance::QUARTER_SUN));
+    assert!(!policy.should_bypass(Irradiance::FULL_SUN));
+}
+
+#[test]
+fn a_frame_takes_about_15ms_at_half_volt() {
+    // Paper Section VII: "For a low resolution image with 64×64 pixels, it
+    // takes about 15ms to process at 0.5V." — checked through the *real*
+    // pipeline's cycle count and the CPU model together.
+    let pipeline = RecognitionPipeline::paper_default().expect("trainable");
+    let frame = Frame::synthetic_shape(64, 64, Shape::Cross, 123).expect("valid frame");
+    let result = pipeline.process(&frame);
+    let cpu = Microprocessor::paper_65nm();
+    let op = cpu.max_speed_point(Volts::new(0.5)).expect("in window");
+    let t = cpu.execution_time(result.cycles.count(), op);
+    assert!(
+        (t.to_milli() - 15.0).abs() < 1.5,
+        "frame took {:.2} ms at 0.5 V (paper: ~15 ms)",
+        t.to_milli()
+    );
+}
+
+#[test]
+fn sprinting_gains_solar_energy_at_20_percent() {
+    // Paper Fig. 11b: "10% more energy was absorbed from solar cell by
+    // sprinting operation at 20% rate".
+    let dim = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+    let mut cap = Capacitor::paper_board();
+    cap.set_voltage(Volts::new(1.2)).unwrap();
+    let plan =
+        SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0))
+            .expect("valid plan");
+    let cmp = plan.compare_against_constant(&dim, &cap, Seconds::from_micro(20.0));
+    let gain = cmp.extra_energy_fraction();
+    assert!(
+        (0.02..0.30).contains(&gain),
+        "sprint gain {:.1}% (paper ~10%)",
+        gain * 100.0
+    );
+}
+
+#[test]
+fn holistic_mep_is_cheaper_than_conventional_through_every_regulator() {
+    let cpu = Microprocessor::paper_65nm();
+    let v_in = Volts::new(1.1);
+    for (kind, cmp) in analysis::fig7b(&cpu, v_in) {
+        assert!(
+            cmp.energy_savings() >= -1e-9,
+            "{kind}: negative savings {:.2}%",
+            cmp.energy_savings() * 100.0
+        );
+    }
+    // And the system energy really is what the components say it is.
+    let sc = ScRegulator::paper_65nm();
+    let at = mep::system_energy_per_cycle(&cpu, &sc, v_in, Volts::new(0.55)).unwrap();
+    let breakdown = cpu.energy_breakdown(Volts::new(0.55)).unwrap();
+    assert!(at > breakdown.total());
+}

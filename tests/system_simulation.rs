@@ -1,0 +1,152 @@
+//! Integration tests of the full simulated system: controller A/B runs,
+//! energy conservation across crates, and determinism.
+
+use hems_repro::core::{HolisticController, Mode};
+use hems_repro::imgproc::{Frame, RecognitionPipeline, Shape};
+use hems_repro::pv::Irradiance;
+use hems_repro::sim::{
+    Controller, FixedVoltageController, Job, LightProfile, Simulation, SystemConfig,
+};
+use hems_repro::units::{Cycles, Seconds, Volts};
+
+fn run_for(
+    controller: &mut dyn Controller,
+    light: LightProfile,
+    v0: f64,
+    duration_ms: f64,
+) -> hems_repro::sim::SimulationSummary {
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let mut sim = Simulation::new(config, light, Volts::new(v0)).expect("valid sim");
+    sim.run(controller, Seconds::from_milli(duration_ms))
+}
+
+#[test]
+fn holistic_outruns_fixed_voltage_under_steady_sun() {
+    let light = || LightProfile::constant(Irradiance::FULL_SUN);
+    let mut holistic = HolisticController::paper_default(Mode::MaxPerformance);
+    let smart = run_for(&mut holistic, light(), 1.1, 400.0);
+    // The conventional designer's "max performance" guess over-draws and
+    // duty-cycles through power-on resets.
+    let mut naive = FixedVoltageController::new(Volts::new(0.7));
+    let fixed = run_for(&mut naive, light(), 1.1, 400.0);
+    assert!(
+        smart.total_cycles.count() > fixed.total_cycles.count(),
+        "holistic {:.1} M <= fixed {:.1} M",
+        smart.total_cycles.count() / 1e6,
+        fixed.total_cycles.count() / 1e6
+    );
+    assert!(smart.brownouts <= fixed.brownouts);
+}
+
+#[test]
+fn full_day_with_recognition_workload_is_productive() {
+    // End-to-end: frames through the real recognition pipeline, charged to
+    // the CPU model, under a compressed diurnal arc.
+    let pipeline = RecognitionPipeline::paper_default().expect("trainable");
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let light = LightProfile::diurnal(Irradiance::FULL_SUN, Seconds::new(4.0));
+    let mut sim = Simulation::new(config, light, Volts::new(0.8)).expect("valid sim");
+    for i in 0..400u64 {
+        let frame =
+            Frame::synthetic_shape(64, 64, Shape::ALL[(i % 4) as usize], i).expect("frame");
+        sim.enqueue(Job::new(pipeline.frame_cost(&frame)));
+    }
+    let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
+    let summary = sim.run(&mut ctl, Seconds::new(4.0));
+    assert!(
+        summary.completed_jobs > 50,
+        "only {} frames in a 4 s day",
+        summary.completed_jobs
+    );
+    // Energy balance: harvested == delivered + losses + storage delta,
+    // within integration error.
+    let e0 = sim.config().capacitor.capacitance().stored_energy(Volts::new(0.8));
+    let e1 = sim
+        .config()
+        .capacitor
+        .capacitance()
+        .stored_energy(summary.final_v_solar);
+    let lhs = summary.ledger.harvested + (e0 - e1);
+    let rhs = summary.ledger.delivered_to_cpu
+        + summary.ledger.regulator_loss
+        + summary.ledger.standby_loss;
+    let err = (lhs - rhs).abs().joules() / rhs.joules().max(1e-9);
+    assert!(err < 0.02, "energy imbalance {:.2}%", err * 100.0);
+}
+
+#[test]
+fn min_energy_mode_uses_less_power_than_max_performance() {
+    let light = || LightProfile::constant(Irradiance::FULL_SUN);
+    let mut max_perf = HolisticController::paper_default(Mode::MaxPerformance);
+    let fast = run_for(&mut max_perf, light(), 1.1, 300.0);
+    let mut min_energy = HolisticController::paper_default(Mode::MinEnergy);
+    let frugal = run_for(&mut min_energy, light(), 1.1, 300.0);
+    assert!(frugal.ledger.delivered_to_cpu < fast.ledger.delivered_to_cpu);
+    // But it still computes (it is not just sleeping).
+    assert!(frugal.total_cycles.count() > 1e6);
+    // And it is more efficient per cycle.
+    let fast_epc = fast.ledger.delivered_to_cpu.joules() / fast.total_cycles.count();
+    let frugal_epc = frugal.ledger.delivered_to_cpu.joules() / frugal.total_cycles.count();
+    assert!(
+        frugal_epc < fast_epc,
+        "MinEnergy {frugal_epc:.2e} J/cyc >= MaxPerf {fast_epc:.2e} J/cyc"
+    );
+}
+
+#[test]
+fn deadline_mode_meets_a_feasible_deadline_under_dimming_light() {
+    // Feasible deadline under dimming light: holistic meets it.
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let light = LightProfile::step(
+        Irradiance::FULL_SUN,
+        Irradiance::HALF_SUN,
+        Seconds::from_milli(10.0),
+    );
+    let mut sim = Simulation::new(config, light, Volts::new(1.2)).expect("valid sim");
+    let deadline = Seconds::from_milli(50.0);
+    sim.enqueue(Job::with_deadline(Cycles::new(2.0e6), deadline));
+    let mut ctl = HolisticController::paper_default(Mode::Deadline {
+        deadline,
+        beta: 0.2,
+    });
+    let summary = sim.run(&mut ctl, Seconds::from_milli(55.0));
+    assert_eq!(summary.completed_jobs, 1);
+    assert!(sim.jobs().missed_deadlines(sim.now()).is_empty());
+}
+
+#[test]
+fn simulations_are_deterministic_across_runs() {
+    let go = || {
+        let light = LightProfile::clouds(
+            Irradiance::QUARTER_SUN,
+            Irradiance::FULL_SUN,
+            Seconds::from_milli(100.0),
+            Seconds::new(2.0),
+            777,
+        );
+        let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
+        run_for(&mut ctl, light, 1.1, 2000.0)
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dark_nights_duty_cycle_through_power_on_reset() {
+    // Day-night cycling: the node dies at night and resumes cleanly at dawn.
+    let config = SystemConfig::paper_sc_system().expect("valid config");
+    let light = LightProfile::step(
+        Irradiance::DARK,
+        Irradiance::FULL_SUN,
+        Seconds::from_milli(300.0),
+    );
+    let mut sim = Simulation::new(config, light, Volts::new(0.9)).expect("valid sim");
+    let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
+    let summary = sim.run(&mut ctl, Seconds::from_milli(800.0));
+    assert!(summary.brownouts >= 1);
+    assert!(summary.ledger.brownout_time.is_positive());
+    // After dawn it computes again.
+    assert!(summary.total_cycles.count() > 1e6);
+    assert!(summary.final_v_solar > Volts::new(0.45));
+}
