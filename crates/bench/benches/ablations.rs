@@ -7,7 +7,7 @@
 //!   cloudy trace;
 //! * simulator timestep convergence.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_core::analysis;
 use hems_cpu::{DvfsLadder, Microprocessor};
@@ -330,7 +330,8 @@ fn timestep_convergence() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regulator_choice_by_light();
     threshold_spacing_accuracy();
     mppt_shootout();
@@ -339,21 +340,12 @@ fn bench(c: &mut Criterion) {
     energy_performance_frontier();
     dvfs_transition_sensitivity();
     timestep_convergence();
-    c.bench_function("ablations/sim_throughput_steps_per_sec", |b| {
-        let config = SystemConfig::paper_sc_system().expect("valid");
-        let light = LightProfile::constant(Irradiance::FULL_SUN);
-        b.iter(|| {
-            let mut sim =
-                Simulation::new(config.clone(), light.clone(), Volts::new(1.1)).expect("valid");
-            let mut ctl = hems_sim::FixedVoltageController::new(Volts::new(0.55));
-            black_box(sim.run(&mut ctl, Seconds::from_milli(50.0)))
-        })
+    let config = SystemConfig::paper_sc_system().expect("valid");
+    let light = LightProfile::constant(Irradiance::FULL_SUN);
+    c.bench_function("ablations/sim_throughput_steps_per_sec", || {
+        let mut sim =
+            Simulation::new(config.clone(), light.clone(), Volts::new(1.1)).expect("valid");
+        let mut ctl = hems_sim::FixedVoltageController::new(Volts::new(0.55));
+        black_box(sim.run(&mut ctl, Seconds::from_milli(50.0)))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!     operation (paper: +3 ms / +20 % operation, +10 % solar energy at a
 //!     20 % sprint rate).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, pct, print_series};
 use hems_core::{mep, HolisticController, Mode};
 use hems_cpu::Microprocessor;
@@ -134,23 +134,15 @@ fn fig11b() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     fig11a();
     fig11b();
-    c.bench_function("fig11/system_demo_run", |b| {
-        b.iter(|| {
-            let mut ctl = HolisticController::paper_default(Mode::Deadline {
-                deadline: Seconds::from_milli(60.0),
-                beta: 0.2,
-            });
-            black_box(run_demo(&mut ctl, "bench").active_ms)
-        })
+    c.bench_function("fig11/system_demo_run", || {
+        let mut ctl = HolisticController::paper_default(Mode::Deadline {
+            deadline: Seconds::from_milli(60.0),
+            beta: 0.2,
+        });
+        black_box(run_demo(&mut ctl, "bench").active_ms)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! same family of curves from the calibrated single-diode model: outdoor
 //! strong sun, 50 %, 25 %, overcast and indoor light.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_pv::{Irradiance, SolarCell};
 use hems_units::Volts;
@@ -45,22 +45,11 @@ fn regenerate() -> Vec<Vec<String>> {
     rows
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     let rows = regenerate();
     print_series("Fig. 2: I-V curves vs light", &["condition", "V (V)", "I (mA)"], &rows);
-    c.bench_function("fig2/iv_curve_sampling", |b| {
-        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
-        b.iter(|| black_box(cell.iv_curve(128)))
-    });
-    c.bench_function("fig2/mpp_search", |b| {
-        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
-        b.iter(|| black_box(cell.mpp().unwrap()))
-    });
+    let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+    c.bench_function("fig2/iv_curve_sampling", || black_box(cell.iv_curve(128)));
+    c.bench_function("fig2/mpp_search", || black_box(cell.mpp().unwrap()));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Fig. 3 — LDO efficiency vs output voltage (45 % @ 0.55 V).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_regulator::{EfficiencySweep, Ldo, Regulator};
 use hems_units::{Volts, Watts};
@@ -38,30 +38,22 @@ fn regenerate() -> Vec<Vec<String>> {
         .collect()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     let rows = regenerate();
     print_series("Fig. 3: LDO efficiency", &["Vout (V)", "eta (%)"], &rows);
-    c.bench_function("fig3/ldo_sweep", |b| {
-        let ldo = Ldo::paper_65nm();
-        b.iter(|| {
-            black_box(
-                EfficiencySweep::sample(
-                    &ldo,
-                    Volts::new(1.2),
-                    Volts::new(0.1),
-                    Volts::new(1.1),
-                    Watts::from_milli(10.0),
-                    64,
-                )
-                .unwrap(),
+    let ldo = Ldo::paper_65nm();
+    c.bench_function("fig3/ldo_sweep", || {
+        black_box(
+            EfficiencySweep::sample(
+                &ldo,
+                Volts::new(1.2),
+                Volts::new(0.1),
+                Volts::new(1.1),
+                Watts::from_milli(10.0),
+                64,
             )
-        })
+            .unwrap(),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Fig. 4 — switched-capacitor regulator efficiency at full and half load
 //! (67 % / 64 % @ 0.55 V).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_regulator::{EfficiencySweep, Regulator, ScRegulator};
 use hems_units::{Volts, Watts};
@@ -42,27 +42,19 @@ fn regenerate() -> Vec<Vec<String>> {
     rows
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     let rows = regenerate();
     print_series(
         "Fig. 4: SC regulator efficiency",
         &["load", "Vout (V)", "eta (%)"],
         &rows,
     );
-    c.bench_function("fig4/sc_convert", |b| {
-        let sc = ScRegulator::paper_65nm();
-        b.iter(|| {
-            black_box(
-                sc.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
-                    .unwrap(),
-            )
-        })
+    let sc = ScRegulator::paper_65nm();
+    c.bench_function("fig4/sc_convert", || {
+        black_box(
+            sc.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
+                .unwrap(),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! (63 % / 58 % @ 0.55 V), plus the SC-vs-buck load crossover the text of
 //! Section III describes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_regulator::{BuckRegulator, EfficiencySweep, Regulator, ScRegulator};
 use hems_units::{Volts, Watts};
@@ -58,27 +58,19 @@ fn regenerate() -> Vec<Vec<String>> {
     rows
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     let rows = regenerate();
     print_series(
         "Fig. 5: buck regulator efficiency",
         &["load", "Vout (V)", "eta (%)"],
         &rows,
     );
-    c.bench_function("fig5/buck_convert", |b| {
-        let buck = BuckRegulator::paper_65nm();
-        b.iter(|| {
-            black_box(
-                buck.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
-                    .unwrap(),
-            )
-        })
+    let buck = BuckRegulator::paper_65nm();
+    c.bench_function("fig5/buck_convert", || {
+        black_box(
+            buck.convert(Volts::new(1.2), Volts::new(0.55), Watts::from_milli(10.0))
+                .unwrap(),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -5,11 +5,11 @@
 //! (b) The regulated optimum per regulator, with the headline "+31 %
 //!     power / +18 % speed" SC numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, mw, print_series};
 use hems_core::analysis;
-use hems_cpu::Microprocessor;
-use hems_pv::{Irradiance, SolarCell};
+use hems_cpu::{CpuLut, Microprocessor};
+use hems_pv::{Irradiance, PvLut, SolarCell};
 use hems_units::Volts;
 use std::hint::black_box;
 
@@ -61,24 +61,25 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regenerate();
     let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     let cpu = Microprocessor::paper_65nm();
-    c.bench_function("fig6/full_analysis", |b| {
-        b.iter(|| black_box(analysis::fig6(&cell, &cpu).unwrap()))
+    c.bench_function("fig6/full_analysis", || {
+        black_box(analysis::fig6(&cell, &cpu).unwrap())
     });
-    c.bench_function("fig6/optimal_plan_sc", |b| {
-        let sc = hems_regulator::ScRegulator::paper_65nm();
-        b.iter(|| {
-            black_box(hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).unwrap())
-        })
+    let sc = hems_regulator::ScRegulator::paper_65nm();
+    c.bench_function("fig6/optimal_plan_sc", || {
+        black_box(hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu).unwrap())
+    });
+    // The LUT fast path the sweep engine runs on (build cost excluded:
+    // tables amortize over a whole scenario sweep).
+    let pv_lut = PvLut::build_default(cell.clone()).expect("full sun builds");
+    let cpu_lut = CpuLut::build_default(cpu.clone());
+    c.bench_function("fig6/optimal_plan_sc_lut", || {
+        black_box(
+            hems_core::optimal_voltage::optimal_regulated_plan(&pv_lut, &sc, &cpu_lut).unwrap(),
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

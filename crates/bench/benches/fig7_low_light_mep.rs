@@ -1,7 +1,7 @@
 //! Fig. 7 — (a) regulated vs bypass deliverable power across light levels,
 //! (b) conventional vs holistic minimum-energy point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, mw, pct, print_series};
 use hems_core::{analysis, mep, BypassPolicy};
 use hems_cpu::Microprocessor;
@@ -72,29 +72,26 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regenerate();
     let cpu = Microprocessor::paper_65nm();
     let sc = ScRegulator::paper_65nm();
-    c.bench_function("fig7/mep_comparison", |b| {
-        b.iter(|| black_box(mep::compare_meps(&cpu, &sc, Volts::new(1.1)).unwrap()))
+    c.bench_function("fig7/mep_comparison", || {
+        black_box(mep::compare_meps(&cpu, &sc, Volts::new(1.1)).unwrap())
     });
-    c.bench_function("fig7/bypass_compare_quarter_sun", |b| {
-        let model = SolarCellModel::kxob22();
-        b.iter(|| {
-            black_box(BypassPolicy::compare_at(
-                &model,
-                &sc,
-                &cpu,
-                Irradiance::QUARTER_SUN,
-            ))
-        })
+    // The LUT fast path (processor transcendentals tabulated).
+    let cpu_lut = hems_cpu::CpuLut::build_default(cpu.clone());
+    c.bench_function("fig7/mep_comparison_lut", || {
+        black_box(mep::compare_meps(&cpu_lut, &sc, Volts::new(1.1)).unwrap())
+    });
+    let model = SolarCellModel::kxob22();
+    c.bench_function("fig7/bypass_compare_quarter_sun", || {
+        black_box(BypassPolicy::compare_at(
+            &model,
+            &sc,
+            &cpu,
+            Irradiance::QUARTER_SUN,
+        ))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! and `V2 = 0.9 V`, and the tracker infers the new input power from the
 //! crossing time (eq. 7), then retargets the MPP via the lookup table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_mppt::{MppTracker, Observation, TimeBasedTracker};
 use hems_pv::{Irradiance, SolarCell};
@@ -101,16 +101,10 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regenerate();
-    c.bench_function("fig8/light_step_tracking", |b| {
-        b.iter(|| black_box(run_step(Irradiance::QUARTER_SUN, 8.0).estimate_mw))
+    c.bench_function("fig8/light_step_tracking", || {
+        black_box(run_step(Irradiance::QUARTER_SUN, 8.0).estimate_mw)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

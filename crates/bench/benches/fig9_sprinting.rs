@@ -2,7 +2,7 @@
 //! time (eqs. 8–11), and (b) the sprinting operation's extra solar intake
 //! (eqs. 12–13).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, pct, print_series};
 use hems_core::deadline::DeadlineSolver;
 use hems_core::SprintPlan;
@@ -77,37 +77,29 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regenerate();
     let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     let sc = ScRegulator::paper_65nm();
     let cpu = Microprocessor::paper_65nm();
     let mut cap = Capacitor::paper_board();
     cap.set_voltage(Volts::new(1.2)).unwrap();
-    c.bench_function("fig9/deadline_solve", |b| {
-        let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
-        b.iter(|| black_box(solver.solve(Cycles::new(10.0e6)).unwrap()))
+    let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
+    c.bench_function("fig9/deadline_solve", || {
+        black_box(solver.solve(Cycles::new(10.0e6)).unwrap())
     });
-    c.bench_function("fig9/sprint_comparison", |b| {
-        let dim_cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
-        let plan = SprintPlan::paper_20_percent(
-            Seconds::from_milli(30.0),
-            Watts::from_milli(6.0),
-        )
-        .unwrap();
-        b.iter(|| {
-            black_box(plan.compare_against_constant(
-                &dim_cell,
-                &cap,
-                Seconds::from_micro(50.0),
-            ))
-        })
+    let dim_cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
+    let plan = SprintPlan::paper_20_percent(
+        Seconds::from_milli(30.0),
+        Watts::from_milli(6.0),
+    )
+    .unwrap();
+    c.bench_function("fig9/sprint_comparison", || {
+        black_box(plan.compare_against_constant(
+            &dim_cell,
+            &cap,
+            Seconds::from_micro(50.0),
+        ))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

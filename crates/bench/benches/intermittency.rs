@@ -6,7 +6,7 @@
 //! battery-less operation; this bench quantifies how the checkpointing
 //! design space interacts with the energy-management layer built here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hems_bench::harness::Harness;
 use hems_bench::{f3, print_series};
 use hems_core::{HolisticController, Mode};
 use hems_intermittent::{CheckpointPolicy, IntermittentRuntime, NvmModel, Task, TaskChain};
@@ -78,16 +78,10 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::from_env();
     regenerate();
-    c.bench_function("intermittency/every_task_fram", |b| {
-        b.iter(|| black_box(run_policy(CheckpointPolicy::EveryTask, NvmModel::fram())))
+    c.bench_function("intermittency/every_task_fram", || {
+        black_box(run_policy(CheckpointPolicy::EveryTask, NvmModel::fram()))
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! The scenario-sweep benchmark: serial vs parallel engine throughput and
+//! LUT vs exact solver speed, written to `BENCH_sweep.json` at the repo
+//! root (plus the usual stdout report).
+//!
+//! Two comparisons, matching the performance claims this repo makes:
+//!
+//! 1. **Sweep engine** — the same scenario grid through
+//!    `hems_sim::sweep::run_serial` and `run_parallel(available cores)`.
+//!    The JSON records both medians, the speedup, and the core count (the
+//!    speedup is only meaningful on multi-core machines; single-core CI
+//!    still verifies determinism and overhead).
+//! 2. **Solvers** — the full Fig. 6/7 analysis per light level (the
+//!    unregulated intersection, the regulated optimum for all three
+//!    topologies, the joint rail/supply optimization, the sustainable
+//!    frontier, and the system-MEP search) on the exact device models vs
+//!    the `PvLut`/`CpuLut` fast path. The headline comparison runs with
+//!    *warm* tables — the steady-state a cache earns after one build per
+//!    irradiance change — and the build cost is measured separately, along
+//!    with a *cold* variant that rebuilds every table per pass and the
+//!    worst relative deviation between the two paths' answers.
+//!
+//! Smoke mode (`HEMS_BENCH_SMOKE=1`): one iteration of everything, so CI
+//! exercises every code path and still writes the JSON in seconds.
+
+use hems_bench::harness::{measurement_json, Harness, Json};
+use hems_core::{frontier, mep, operating_point, optimal_voltage, CpuEval, PvSource};
+use hems_cpu::{CpuLut, Microprocessor};
+use hems_pv::{Irradiance, PvLut, SolarCell};
+use hems_regulator::{BuckRegulator, Ldo, Regulator, ScRegulator};
+use hems_sim::sweep::{self, SweepGrid};
+use hems_units::{Farads, Seconds, Volts};
+use std::hint::black_box;
+
+/// The grid both engine paths run: 4 light levels x 2 capacitors x
+/// 2 regulators x 2 policies = 32 scenarios of 40 simulated ms each.
+fn bench_grid() -> SweepGrid {
+    let mut grid = SweepGrid::paper_baseline().expect("baseline grid");
+    grid.irradiances = vec![
+        Irradiance::FULL_SUN,
+        Irradiance::HALF_SUN,
+        Irradiance::QUARTER_SUN,
+        Irradiance::new(0.1).expect("in range"),
+    ];
+    let c0 = grid.base.capacitor.capacitance();
+    grid.capacitances = vec![c0, Farads::new(c0.farads() * 4.0)];
+    grid.duration = Seconds::from_milli(40.0);
+    grid
+}
+
+fn light_levels() -> Vec<Irradiance> {
+    [1.0, 0.75, 0.5, 0.25, 0.1]
+        .into_iter()
+        .map(|g| Irradiance::new(g).expect("in range"))
+        .collect()
+}
+
+/// The per-light-level Fig. 6/7 workload, generic over the model path:
+/// the unregulated intersection (Fig. 6a), the regulated optimum for all
+/// three topologies (Fig. 6b), the joint rail/supply optimization, the
+/// sustainable frontier, and the system-MEP search (Fig. 7b). Returns an
+/// accumulator so nothing is optimized away.
+fn figure_workload(
+    cell: &impl PvSource,
+    cpu: &impl CpuEval,
+    regs: &[&dyn Regulator],
+) -> f64 {
+    let mut acc = 0.0;
+    if let Ok(u) = operating_point::unregulated_point(cell, cpu) {
+        acc += u.power.watts();
+    }
+    for reg in regs {
+        if let Ok(plan) = optimal_voltage::optimal_regulated_plan(cell, *reg, cpu) {
+            acc += plan.p_cpu.watts();
+        }
+    }
+    if let Ok(plan) = optimal_voltage::optimal_joint_plan(cell, regs[0], cpu) {
+        acc += plan.p_cpu.watts();
+    }
+    if let Ok(points) = frontier::sustainable_frontier(cell, regs[0], cpu, 33) {
+        acc += points.len() as f64;
+    }
+    if let Ok(m) = mep::system_mep(cpu, regs[0], Volts::new(1.1)) {
+        acc += m.energy_per_cycle.joules();
+    }
+    acc
+}
+
+/// The figure sweep on the exact models: every solver call re-solves the
+/// implicit PV curve (MPP searches, intersection bisections) from scratch.
+fn solver_sweep_exact(cpu: &Microprocessor, regs: &[&dyn Regulator]) -> f64 {
+    light_levels()
+        .into_iter()
+        .map(|g| figure_workload(&SolarCell::kxob22(g), cpu, regs))
+        .sum()
+}
+
+/// The same sweep on warm tables — prebuilt `PvLut`s (one per light
+/// level, the cache's steady state) and a prebuilt `CpuLut`
+/// (light-independent).
+fn solver_sweep_lut(pv_luts: &[PvLut], cpu_lut: &CpuLut, regs: &[&dyn Regulator]) -> f64 {
+    pv_luts
+        .iter()
+        .map(|pv_lut| figure_workload(pv_lut, cpu_lut, regs))
+        .sum()
+}
+
+/// The cold variant: every pass pays the per-light-level `PvLut` build
+/// before the workload — the worst case where the cache is rebuilt for
+/// every figure instead of once per irradiance change.
+fn solver_sweep_lut_cold(cpu_lut: &CpuLut, regs: &[&dyn Regulator]) -> f64 {
+    light_levels()
+        .into_iter()
+        .filter_map(|g| PvLut::build_default(SolarCell::kxob22(g)).ok())
+        .map(|pv_lut| figure_workload(&pv_lut, cpu_lut, regs))
+        .sum()
+}
+
+/// Worst relative deviation between the two paths across the sweep's
+/// headline outputs (plan power and MEP energy per light level).
+fn solver_deviation(cpu: &Microprocessor, cpu_lut: &CpuLut, sc: &ScRegulator) -> f64 {
+    let mut worst: f64 = 0.0;
+    let mut dev = |fast: f64, exact: f64| {
+        worst = worst.max((fast - exact).abs() / exact.abs().max(1e-12));
+    };
+    for g in light_levels() {
+        let cell = SolarCell::kxob22(g);
+        let pv_lut = PvLut::build_default(cell.clone()).expect("lit cell builds");
+        if let (Ok(e), Ok(f)) = (
+            optimal_voltage::optimal_joint_plan(&cell, sc, cpu),
+            optimal_voltage::optimal_joint_plan(&pv_lut, sc, cpu_lut),
+        ) {
+            dev(f.p_cpu.watts(), e.p_cpu.watts());
+        }
+    }
+    if let (Ok(e), Ok(f)) = (
+        mep::system_mep(cpu, sc, Volts::new(1.1)),
+        mep::system_mep(cpu_lut, sc, Volts::new(1.1)),
+    ) {
+        dev(f.energy_per_cycle.joules(), e.energy_per_cycle.joules());
+    }
+    worst
+}
+
+fn main() {
+    let mut c = Harness::from_env();
+    let cores = sweep::default_threads();
+    println!(
+        "[sweep bench] {} hardware threads available{}",
+        cores,
+        if c.is_smoke() { " (smoke mode)" } else { "" }
+    );
+
+    // --- 1. Sweep engine: serial vs parallel over the same grid. ---
+    let grid = bench_grid();
+    let scenario_count = grid.len();
+    let serial = c
+        .bench_function("sweep/engine_serial", || {
+            black_box(sweep::run_serial(&grid).expect("grid expands"))
+        })
+        .clone();
+    let parallel = c
+        .bench_function("sweep/engine_parallel", || {
+            black_box(sweep::run_parallel(&grid, cores).expect("grid expands"))
+        })
+        .clone();
+    let engine_speedup = serial.median_ns / parallel.median_ns;
+    println!(
+        "[sweep bench] engine speedup {engine_speedup:.2}x on {cores} cores \
+         ({scenario_count} scenarios)"
+    );
+
+    // Determinism spot check alongside the timing (the sim crate's test
+    // suite owns the full contract).
+    let a = sweep::run_serial(&grid).expect("grid expands");
+    let b = sweep::run_parallel(&grid, cores).expect("grid expands");
+    assert_eq!(a, b, "parallel sweep must be bit-identical to serial");
+
+    // --- 2. Solvers: exact vs LUT on Fig. 6/7-style sweeps. ---
+    let cpu = Microprocessor::paper_65nm();
+    let sc = ScRegulator::paper_65nm();
+    let buck = BuckRegulator::paper_65nm();
+    let ldo = Ldo::paper_65nm();
+    let regs: [&dyn Regulator; 3] = [&sc, &buck, &ldo];
+    let cpu_lut = CpuLut::build_default(cpu.clone());
+    let pv_luts: Vec<PvLut> = light_levels()
+        .into_iter()
+        .map(|g| PvLut::build_default(SolarCell::kxob22(g)).expect("lit cell builds"))
+        .collect();
+    let exact = c
+        .bench_function("solvers/fig67_sweep_exact", || {
+            black_box(solver_sweep_exact(&cpu, &regs))
+        })
+        .clone();
+    let lut = c
+        .bench_function("solvers/fig67_sweep_lut", || {
+            black_box(solver_sweep_lut(&pv_luts, &cpu_lut, &regs))
+        })
+        .clone();
+    let lut_cold = c
+        .bench_function("solvers/fig67_sweep_lut_cold", || {
+            black_box(solver_sweep_lut_cold(&cpu_lut, &regs))
+        })
+        .clone();
+    let build = c
+        .bench_function("solvers/pv_lut_build", || {
+            black_box(PvLut::build_default(SolarCell::kxob22(Irradiance::HALF_SUN)))
+        })
+        .clone();
+    let solver_speedup = exact.median_ns / lut.median_ns;
+    let cold_speedup = exact.median_ns / lut_cold.median_ns;
+    let deviation = solver_deviation(&cpu, &cpu_lut, &sc);
+    println!(
+        "[sweep bench] solver speedup {solver_speedup:.2}x warm / {cold_speedup:.2}x cold, \
+         worst deviation {:.4}%",
+        deviation * 100.0
+    );
+
+    // --- JSON report at the repo root. ---
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("hems-bench-sweep/1".into())),
+        ("smoke".into(), Json::Bool(c.is_smoke())),
+        ("cores".into(), Json::Int(cores as i64)),
+        ("scenario_count".into(), Json::Int(scenario_count as i64)),
+        (
+            "engine".into(),
+            Json::Obj(vec![
+                ("serial".into(), measurement_json(&serial)),
+                ("parallel".into(), measurement_json(&parallel)),
+                ("speedup".into(), Json::Num(engine_speedup)),
+            ]),
+        ),
+        (
+            "solvers".into(),
+            Json::Obj(vec![
+                ("exact".into(), measurement_json(&exact)),
+                ("lut".into(), measurement_json(&lut)),
+                ("lut_cold".into(), measurement_json(&lut_cold)),
+                ("pv_lut_build".into(), measurement_json(&build)),
+                ("speedup".into(), Json::Num(solver_speedup)),
+                ("cold_speedup".into(), Json::Num(cold_speedup)),
+                ("worst_relative_deviation".into(), Json::Num(deviation)),
+            ]),
+        ),
+        (
+            "all_measurements".into(),
+            Json::Arr(c.results().iter().map(measurement_json).collect()),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, report.render() + "\n").expect("write BENCH_sweep.json");
+    println!("[sweep bench] wrote {path}");
+}

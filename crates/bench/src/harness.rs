@@ -1,0 +1,353 @@
+//! A self-contained wall-clock micro-benchmark harness.
+//!
+//! The figure benches previously rode on Criterion; that dependency cannot
+//! resolve offline, so this module provides the small slice of it the repo
+//! actually needs: warmup, repeated timed samples, median/p95/min/mean
+//! statistics, and a throughput figure — ~150 lines, `std`-only.
+//!
+//! Methodology: each *sample* times a batch of `batch` calls, where
+//! `batch` is auto-calibrated during warmup so one batch spans at least
+//! ~1 ms (per-call `Instant` overhead would otherwise dominate fast
+//! functions like table lookups). Statistics are computed over per-call
+//! times (`batch_elapsed / batch`); the median is the headline number —
+//! robust to the occasional scheduler hiccup a p95 exists to expose.
+//!
+//! **Smoke mode** (`HEMS_BENCH_SMOKE=1`, or [`Harness::smoke`]): one
+//! sample of one call, no warmup — CI checks that every bench *runs*
+//! without paying for statistics.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target minimum duration of one timed batch, in nanoseconds.
+const MIN_BATCH_NS: f64 = 1e6;
+/// Hard cap on batch growth during calibration.
+const MAX_BATCH: usize = 1 << 22;
+
+/// Statistics of one benchmarked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The benchmark's name (`group/case` by convention).
+    pub name: String,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Calls per sample.
+    pub batch: usize,
+    /// Median per-call time, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-call time, nanoseconds.
+    pub p95_ns: f64,
+    /// Fastest per-call time, nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-call time, nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl Measurement {
+    /// Calls per second at the median time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Formats a nanosecond count with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark runner: collects [`Measurement`]s and prints one summary
+/// line per bench as it completes.
+#[derive(Debug)]
+pub struct Harness {
+    warmup_samples: usize,
+    samples: usize,
+    smoke: bool,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness with explicit warmup/sample counts.
+    pub fn new(warmup_samples: usize, samples: usize) -> Harness {
+        Harness {
+            warmup_samples,
+            samples: samples.max(1),
+            smoke: false,
+            results: Vec::new(),
+        }
+    }
+
+    /// Smoke mode: one un-warmed sample of one call per bench.
+    pub fn smoke() -> Harness {
+        Harness {
+            warmup_samples: 0,
+            samples: 1,
+            smoke: true,
+            results: Vec::new(),
+        }
+    }
+
+    /// The default harness — or smoke mode when `HEMS_BENCH_SMOKE=1` is
+    /// set (the contract `scripts/verify.sh` relies on).
+    pub fn from_env() -> Harness {
+        if std::env::var("HEMS_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+            Harness::smoke()
+        } else {
+            Harness::new(3, 30)
+        }
+    }
+
+    /// `true` when running in smoke mode.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Times `f`, records the measurement, prints a summary line, and
+    /// returns a reference to the recorded stats.
+    pub fn bench_function<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Measurement {
+        let mut batch = 1usize;
+        if !self.smoke {
+            // Calibrate the batch so one sample spans >= MIN_BATCH_NS.
+            loop {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                let ns = t.elapsed().as_nanos() as f64;
+                if ns >= MIN_BATCH_NS || batch >= MAX_BATCH {
+                    break;
+                }
+                // Aim past the threshold in one step, at least doubling.
+                let scale = (MIN_BATCH_NS / ns.max(1.0)).ceil() as usize;
+                batch = (batch * scale.max(2)).min(MAX_BATCH);
+            }
+            for _ in 0..self.warmup_samples {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                black_box(t.elapsed());
+            }
+        }
+        let mut per_call: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_call.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let measurement = Measurement {
+            name: name.to_string(),
+            samples: self.samples,
+            batch,
+            median_ns: percentile(&per_call, 50.0),
+            p95_ns: percentile(&per_call, 95.0),
+            min_ns: per_call[0],
+            mean_ns: per_call.iter().sum::<f64>() / per_call.len() as f64,
+        };
+        println!(
+            "[bench] {:<44} median {:>10}  p95 {:>10}  {:>12.0}/s  ({} samples x {} calls)",
+            measurement.name,
+            fmt_ns(measurement.median_ns),
+            fmt_ns(measurement.p95_ns),
+            measurement.throughput_per_sec(),
+            measurement.samples,
+            measurement.batch,
+        );
+        self.results.push(measurement);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements recorded so far, in run order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// Interpolated percentile of an ascending-sorted slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of nothing");
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// A minimal JSON value for the bench reports — hand-rolled so the
+/// harness stays dependency-free. Numbers render with enough precision
+/// to round-trip; non-finite numbers render as `null`.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number.
+    Num(f64),
+    /// An integer (rendered without a decimal point).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |n: usize| "  ".repeat(n);
+        match self {
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(i) => out.push_str(&format!("{i}")),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad(depth + 1));
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad(depth));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad(depth + 1));
+                    Json::Str(k.clone()).write(out, depth + 1);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad(depth));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A [`Measurement`] as a JSON object.
+pub fn measurement_json(m: &Measurement) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(m.name.clone())),
+        ("samples".into(), Json::Int(m.samples as i64)),
+        ("batch".into(), Json::Int(m.batch as i64)),
+        ("median_ns".into(), Json::Num(m.median_ns)),
+        ("p95_ns".into(), Json::Num(m.p95_ns)),
+        ("min_ns".into(), Json::Num(m.min_ns)),
+        ("mean_ns".into(), Json::Num(m.mean_ns)),
+        (
+            "throughput_per_sec".into(),
+            Json::Num(m.throughput_per_sec()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_takes_exactly_one_sample() {
+        let mut h = Harness::smoke();
+        let mut calls = 0u32;
+        h.bench_function("t/one", || calls += 1);
+        assert_eq!(calls, 1);
+        let m = &h.results()[0];
+        assert_eq!((m.samples, m.batch), (1, 1));
+        assert!(m.median_ns > 0.0);
+    }
+
+    #[test]
+    fn statistics_are_ordered_and_batches_calibrate() {
+        let mut h = Harness::new(1, 10);
+        let m = h
+            .bench_function("t/fast", || black_box(3u64).wrapping_mul(7))
+            .clone();
+        assert!(m.batch > 1, "ns-scale work must be batched");
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.p95_ns);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let j = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Str("x\"y\n".into())),
+            ("c".into(), Json::Arr(vec![Json::Int(1), Json::Bool(false)])),
+            ("d".into(), Json::Num(f64::NAN)),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"a\": 1.5"));
+        assert!(s.contains("\\\"y\\n"));
+        assert!(s.contains("\"d\": null"));
+        assert!(s.contains("[\n"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

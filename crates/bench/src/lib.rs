@@ -3,10 +3,13 @@
 //! Every `benches/figN_*.rs` target regenerates the data series of one
 //! figure from the paper's evaluation, prints the rows (so `cargo bench`
 //! output doubles as the reproduction record collected in EXPERIMENTS.md),
-//! and Criterion-measures the computation that produced them.
+//! and measures the computation that produced them on the in-repo
+//! [`harness`] (wall-clock median/p95 + throughput, no external crates).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Prints a titled data series as aligned columns.
 ///

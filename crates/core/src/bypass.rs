@@ -8,8 +8,7 @@
 //! the cell directly. This module quantifies the comparison and finds the
 //! crossover light level.
 
-use crate::{operating_point, optimal_voltage, CoreError};
-use hems_cpu::Microprocessor;
+use crate::{operating_point, optimal_voltage, CoreError, CpuEval};
 use hems_pv::{Irradiance, SolarCell, SolarCellModel};
 use hems_regulator::Regulator;
 use hems_units::Watts;
@@ -46,10 +45,14 @@ impl BypassPolicy {
     ///
     /// Infeasible paths contribute zero deliverable power rather than an
     /// error, so the comparison is total.
+    ///
+    /// Generic over [`CpuEval`] (exact processor or `CpuLut`). The cell
+    /// stays exact on purpose: each light level is visited once, so a
+    /// per-irradiance `PvLut` rebuild would cost more than it saves.
     pub fn compare_at(
         model: &SolarCellModel,
         regulator: &dyn Regulator,
-        cpu: &Microprocessor,
+        cpu: &impl CpuEval,
         irradiance: Irradiance,
     ) -> PathComparison {
         let cell = SolarCell::new(model.clone(), irradiance);
@@ -81,7 +84,7 @@ impl BypassPolicy {
     pub fn calibrate(
         model: &SolarCellModel,
         regulator: &dyn Regulator,
-        cpu: &Microprocessor,
+        cpu: &impl CpuEval,
         g_lo: Irradiance,
         g_hi: Irradiance,
     ) -> Result<BypassPolicy, CoreError> {
@@ -139,6 +142,7 @@ impl BypassPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hems_cpu::Microprocessor;
     use hems_regulator::ScRegulator;
 
     fn fixtures() -> (SolarCellModel, ScRegulator, Microprocessor) {

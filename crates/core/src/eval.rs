@@ -1,0 +1,181 @@
+//! Model-evaluation abstraction: exact device models and their LUTs,
+//! interchangeable inside every solver.
+//!
+//! The solvers in this crate ([`crate::optimal_voltage`],
+//! [`crate::frontier`], [`crate::mep`], [`crate::bypass`]) are generic
+//! over two small traits rather than hard-wired to [`SolarCell`] and
+//! [`Microprocessor`]. Passing the exact models gives the reference
+//! answer; passing a [`PvLut`]/[`CpuLut`] pair gives the same answer to
+//! ≤0.1 % from O(1) table lookups — the fast path the scenario sweeps and
+//! figure benches run on. One solver body serves both, so the fast path
+//! can never diverge from the exact one in anything but interpolation
+//! error.
+//!
+//! The regulator deliberately stays exact everywhere: its conversion math
+//! is closed-form (no inner solves to amortize), and the SC topology's
+//! ratio cliffs make voltage-axis interpolation hazardous. See
+//! `hems_regulator::EfficiencyGrid` for the plotting/sweep-grid use case
+//! where tabulated efficiency *is* appropriate.
+
+use hems_cpu::{CpuLut, Microprocessor};
+use hems_pv::{Mpp, PvError, PvLut, SolarCell};
+use hems_units::{Hertz, Joules, Volts, Watts};
+
+/// A photovoltaic source the solvers can query: either the exact
+/// [`SolarCell`] (implicit single-diode solve per call) or a [`PvLut`]
+/// (table lookup per call).
+pub trait PvSource {
+    /// Terminal power at voltage `v`.
+    fn source_power(&self, v: Volts) -> Watts;
+
+    /// The maximum power point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvError`] in darkness, where no MPP exists.
+    fn source_mpp(&self) -> Result<Mpp, PvError>;
+
+    /// The open-circuit voltage (upper edge of the useful window).
+    fn source_voc(&self) -> Volts;
+}
+
+impl PvSource for SolarCell {
+    fn source_power(&self, v: Volts) -> Watts {
+        self.power_at(v)
+    }
+
+    fn source_mpp(&self) -> Result<Mpp, PvError> {
+        self.mpp()
+    }
+
+    fn source_voc(&self) -> Volts {
+        self.open_circuit_voltage()
+    }
+}
+
+impl PvSource for PvLut {
+    fn source_power(&self, v: Volts) -> Watts {
+        self.power_at(v)
+    }
+
+    fn source_mpp(&self) -> Result<Mpp, PvError> {
+        Ok(self.mpp())
+    }
+
+    fn source_voc(&self) -> Volts {
+        self.open_circuit_voltage()
+    }
+}
+
+/// A processor model the solvers can query: either the exact
+/// [`Microprocessor`] (alpha-power `powf` + exponential leakage per call)
+/// or a [`CpuLut`] (table lookups for the transcendental pieces).
+///
+/// Window bookkeeping (`v_min`, `v_max`, frequency→voltage inversion,
+/// the conventional MEP) always comes from the underlying processor via
+/// [`CpuEval::processor`] — those are either cheap or solved once, so
+/// tabulating them buys nothing.
+pub trait CpuEval {
+    /// The underlying exact processor (window, models, inversions).
+    fn processor(&self) -> &Microprocessor;
+
+    /// Maximum clock at `vdd`, zero outside the window.
+    fn fmax(&self, vdd: Volts) -> Hertz;
+
+    /// Leakage power at `vdd` (clamped to the window edge outside it).
+    fn leak(&self, vdd: Volts) -> Watts;
+
+    /// Power at maximum speed, `None` outside the window.
+    fn pmax(&self, vdd: Volts) -> Option<Watts>;
+
+    /// Energy per cycle at max speed, unbounded outside the window.
+    fn ecycle(&self, vdd: Volts) -> Joules;
+
+    /// Dynamic power at `(vdd, f)` — closed-form, identical on both paths.
+    fn pdyn(&self, vdd: Volts, f: Hertz) -> Watts {
+        self.processor().power_model().dynamic(vdd, f)
+    }
+
+    /// Total power at `(vdd, f)`: dynamic + leakage.
+    fn ptotal(&self, vdd: Volts, f: Hertz) -> Watts {
+        self.pdyn(vdd, f) + self.leak(vdd)
+    }
+}
+
+impl CpuEval for Microprocessor {
+    fn processor(&self) -> &Microprocessor {
+        self
+    }
+
+    fn fmax(&self, vdd: Volts) -> Hertz {
+        self.max_frequency(vdd)
+    }
+
+    fn leak(&self, vdd: Volts) -> Watts {
+        self.power_model().leakage(vdd)
+    }
+
+    fn pmax(&self, vdd: Volts) -> Option<Watts> {
+        self.power_at_max_speed(vdd).ok()
+    }
+
+    fn ecycle(&self, vdd: Volts) -> Joules {
+        self.energy_per_cycle(vdd)
+    }
+}
+
+impl CpuEval for CpuLut {
+    fn processor(&self) -> &Microprocessor {
+        self.cpu()
+    }
+
+    fn fmax(&self, vdd: Volts) -> Hertz {
+        self.max_frequency(vdd)
+    }
+
+    fn leak(&self, vdd: Volts) -> Watts {
+        self.leakage(vdd)
+    }
+
+    fn pmax(&self, vdd: Volts) -> Option<Watts> {
+        self.power_at_max_speed(vdd)
+    }
+
+    fn ecycle(&self, vdd: Volts) -> Joules {
+        self.energy_per_cycle(vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hems_pv::Irradiance;
+
+    #[test]
+    fn exact_and_lut_pv_agree_through_the_trait() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let lut = PvLut::build_default(cell.clone()).unwrap();
+        let v = Volts::new(0.9);
+        let exact = PvSource::source_power(&cell, v).watts();
+        let fast = PvSource::source_power(&lut, v).watts();
+        assert!((fast - exact).abs() <= 1e-3 * exact);
+        assert_eq!(
+            PvSource::source_voc(&lut),
+            PvSource::source_voc(&cell)
+        );
+    }
+
+    #[test]
+    fn exact_and_lut_cpu_agree_through_the_trait() {
+        let cpu = Microprocessor::paper_65nm();
+        let lut = CpuLut::build_default(cpu.clone());
+        let v = Volts::new(0.6);
+        let f = CpuEval::fmax(&cpu, v);
+        assert!((CpuEval::fmax(&lut, v).hertz() - f.hertz()).abs() <= 1e-3 * f.hertz());
+        let p = CpuEval::ptotal(&cpu, v, f * 0.5).watts();
+        let pf = CpuEval::ptotal(&lut, v, f * 0.5).watts();
+        assert!((pf - p).abs() <= 1e-3 * p);
+        assert!(CpuEval::pmax(&cpu, Volts::new(0.2)).is_none());
+        assert!(CpuEval::pmax(&lut, Volts::new(0.2)).is_none());
+    }
+}

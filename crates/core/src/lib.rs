@@ -26,6 +26,9 @@
 //!   time-based MPP tracking, DVFS, low-light bypass and sprinting together
 //!   inside the simulator (Fig. 11b).
 //! * [`analysis`] — figure-level aggregation helpers the benches print.
+//! * [`eval`] — the [`PvSource`]/[`CpuEval`] abstraction that lets every
+//!   solver above run on either the exact device models or their LUTs
+//!   (`hems_pv::PvLut`, `hems_cpu::CpuLut`) without duplicated code.
 
 // `!(a < b)` is used deliberately throughout this workspace: unlike
 // `a >= b` it is `true` when either operand is NaN, which is exactly the
@@ -39,6 +42,7 @@ pub mod bypass;
 pub mod controller;
 pub mod deadline;
 mod error;
+pub mod eval;
 pub mod frontier;
 pub mod mep;
 pub mod operating_point;
@@ -49,6 +53,7 @@ pub use bypass::BypassPolicy;
 pub use controller::{HolisticConfig, HolisticController, Mode};
 pub use deadline::DeadlinePlan;
 pub use error::CoreError;
+pub use eval::{CpuEval, PvSource};
 pub use frontier::FrontierPoint;
 pub use mep::{MepComparison, SystemMep};
 pub use operating_point::UnregulatedPoint;

@@ -14,8 +14,8 @@
 //! *above* the conventional MEP — by ≈ 0.1 V in the paper — and running at
 //! the conventional point wastes up to ≈ 31 % energy (Fig. 7b, Fig. 11a).
 
-use crate::CoreError;
-use hems_cpu::{MepPoint, Microprocessor};
+use crate::{CoreError, CpuEval};
+use hems_cpu::MepPoint;
 use hems_regulator::Regulator;
 use hems_units::{solve, Joules, Volts};
 
@@ -57,19 +57,25 @@ impl MepComparison {
 
 /// System energy per cycle at `vdd` (max-speed convention), or `None`
 /// where the CPU or the regulator cannot operate.
+///
+/// Generic over [`CpuEval`]: pass the exact processor for the reference
+/// answer or a `CpuLut` for the fast path.
 pub fn system_energy_per_cycle(
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
     regulator: &dyn Regulator,
     v_in: Volts,
     vdd: Volts,
 ) -> Option<Joules> {
-    let breakdown = cpu.energy_breakdown(vdd)?;
-    let p_cpu = cpu.power_at_max_speed(vdd).ok()?;
+    let p_cpu = cpu.pmax(vdd)?;
+    let e_cyc = cpu.ecycle(vdd);
+    if !e_cyc.joules().is_finite() {
+        return None;
+    }
     let eta = regulator.efficiency(v_in, vdd, p_cpu).ok()?;
     if eta.ratio() <= 0.0 {
         return None;
     }
-    Some(Joules::new(breakdown.total().joules() / eta.ratio()))
+    Some(Joules::new(e_cyc.joules() / eta.ratio()))
 }
 
 /// Finds the holistic MEP of eq. 5 over the processor window, with the
@@ -80,7 +86,7 @@ pub fn system_energy_per_cycle(
 /// Returns [`CoreError::Infeasible`] when no voltage in the window is
 /// servable through the regulator, and propagates solver failures.
 pub fn system_mep(
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
     regulator: &dyn Regulator,
     v_in: Volts,
 ) -> Result<SystemMep, CoreError> {
@@ -89,9 +95,12 @@ pub fn system_mep(
             Some(e) => e.joules(),
             None => f64::NAN,
         },
-        cpu.v_min().volts(),
-        cpu.v_max().volts(),
-        256,
+        cpu.processor().v_min().volts(),
+        cpu.processor().v_max().volts(),
+        // 128 grid points step ~5 mV across the processor window — still
+        // several samples per SC ratio-cliff basin (those are tens of mV
+        // wide), at half the scan cost of the previous 256.
+        128,
     )
     .map_err(|err| match err {
         hems_units::SolveError::NonFiniteObjective { .. } => CoreError::infeasible(
@@ -119,17 +128,18 @@ pub fn system_mep(
 /// Returns [`CoreError::Infeasible`] when the floor exceeds the processor's
 /// capability or nothing in the constrained window is servable.
 pub fn system_mep_with_floor(
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
     regulator: &dyn Regulator,
     v_in: Volts,
     f_min: hems_units::Hertz,
 ) -> Result<SystemMep, CoreError> {
-    let v_floor = cpu
+    let proc = cpu.processor();
+    let v_floor = proc
         .frequency_model()
-        .voltage_for_frequency(f_min, cpu.v_max())
+        .voltage_for_frequency(f_min, proc.v_max())
         .map_err(|e| CoreError::component("processor", e))?
-        .max(cpu.v_min());
-    if v_floor >= cpu.v_max() {
+        .max(proc.v_min());
+    if v_floor >= proc.v_max() {
         return Err(CoreError::infeasible(
             "constrained system mep",
             format!("performance floor pins the window shut at {v_floor}"),
@@ -141,8 +151,8 @@ pub fn system_mep_with_floor(
             None => f64::NAN,
         },
         v_floor.volts(),
-        cpu.v_max().volts(),
-        256,
+        proc.v_max().volts(),
+        128,
     )
     .map_err(|err| match err {
         hems_units::SolveError::NonFiniteObjective { .. } => CoreError::infeasible(
@@ -166,11 +176,12 @@ pub fn system_mep_with_floor(
 /// [`CoreError::Infeasible`] when the conventional MEP voltage is not even
 /// servable through the regulator.
 pub fn compare_meps(
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
     regulator: &dyn Regulator,
     v_in: Volts,
 ) -> Result<MepComparison, CoreError> {
     let conventional = cpu
+        .processor()
         .conventional_mep()
         .map_err(|e| CoreError::component("processor", e))?;
     let holistic = system_mep(cpu, regulator, v_in)?;
@@ -194,6 +205,7 @@ pub fn compare_meps(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hems_cpu::Microprocessor;
     use hems_regulator::{BuckRegulator, Ldo, ScRegulator};
 
     fn rail() -> Volts {

@@ -6,9 +6,7 @@
 //! maximum power point, which is the inefficiency the regulated holistic
 //! plan (eqs. 1–4) removes.
 
-use crate::CoreError;
-use hems_cpu::Microprocessor;
-use hems_pv::SolarCell;
+use crate::{CoreError, CpuEval, PvSource};
 use hems_units::{solve, Hertz, Volts, Watts};
 
 /// The steady-state operating point of a direct solar→processor connection.
@@ -24,6 +22,9 @@ pub struct UnregulatedPoint {
 
 /// Solves for the unregulated operating point of `cpu` directly on `cell`.
 ///
+/// Generic over [`PvSource`]/[`CpuEval`]: pass the exact models for the
+/// reference answer or the LUTs for the fast path.
+///
 /// The intersection is searched on the overlap of the processor window and
 /// the cell's voltage range. The balance `P_solar(V) - P_cpu(V)` is
 /// positive at low voltage (cell can over-supply a slow core) and negative
@@ -35,12 +36,12 @@ pub struct UnregulatedPoint {
 /// Returns [`CoreError::Infeasible`] when the windows do not overlap or the
 /// cell cannot power the core even at the minimum operating voltage.
 pub fn unregulated_point(
-    cell: &SolarCell,
-    cpu: &Microprocessor,
+    cell: &impl PvSource,
+    cpu: &impl CpuEval,
 ) -> Result<UnregulatedPoint, CoreError> {
-    let voc = cell.open_circuit_voltage();
-    let lo = cpu.v_min();
-    let hi = cpu.v_max().min(voc);
+    let voc = cell.source_voc();
+    let lo = cpu.processor().v_min();
+    let hi = cpu.processor().v_max().min(voc);
     if lo >= hi {
         return Err(CoreError::infeasible(
             "unregulated operating point",
@@ -49,9 +50,9 @@ pub fn unregulated_point(
     }
     let balance = |v: f64| {
         let v = Volts::new(v);
-        let p_solar = cell.power_at(v).watts();
+        let p_solar = cell.source_power(v).watts();
         let p_cpu = cpu
-            .power_at_max_speed(v)
+            .pmax(v)
             .map(|p| p.watts())
             .unwrap_or(f64::INFINITY);
         p_solar - p_cpu
@@ -68,29 +69,33 @@ pub fn unregulated_point(
     if balance(hi.volts()) >= 0.0 {
         // The core never out-draws the cell inside its window: it simply
         // runs at its maximum voltage.
-        let vdd = cpu.v_max().min(hi);
-        let frequency = cpu.max_frequency(vdd);
+        let vdd = cpu.processor().v_max().min(hi);
+        let frequency = cpu.fmax(vdd);
         return Ok(UnregulatedPoint {
             vdd,
             frequency,
-            power: cpu
-                .power_at_max_speed(vdd)
-                .map_err(|e| CoreError::component("processor", e))?,
+            power: cpu.pmax(vdd).ok_or_else(|| {
+                CoreError::infeasible(
+                    "unregulated operating point",
+                    format!("window top {vdd} is outside the processor window"),
+                )
+            })?,
         });
     }
     let v = solve::bisect(balance, lo.volts(), hi.volts(), 1e-9)?;
     let vdd = Volts::new(v);
     Ok(UnregulatedPoint {
         vdd,
-        frequency: cpu.max_frequency(vdd),
-        power: cell.power_at(vdd),
+        frequency: cpu.fmax(vdd),
+        power: cell.source_power(vdd),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hems_pv::Irradiance;
+    use hems_cpu::Microprocessor;
+    use hems_pv::{Irradiance, SolarCell};
 
     #[test]
     fn full_sun_intersection_sits_below_mpp() {

@@ -14,9 +14,7 @@
 //! it. The payoff over the unregulated intersection point is Fig. 6b's
 //! "+31 % power, +18 % speed".
 
-use crate::{operating_point, CoreError, UnregulatedPoint};
-use hems_cpu::Microprocessor;
-use hems_pv::SolarCell;
+use crate::{operating_point, CoreError, CpuEval, PvSource, UnregulatedPoint};
 use hems_regulator::Regulator;
 use hems_units::{Efficiency, Hertz, Volts, Watts};
 
@@ -55,17 +53,22 @@ impl RegulatedPlan {
 /// Solves eqs. 1–4: the fastest sustainable operating point through
 /// `regulator` with the cell held at its MPP.
 ///
+/// Generic over [`PvSource`]/[`CpuEval`]: pass the exact models for the
+/// reference answer or the LUTs (`PvLut`, `CpuLut`) for the fast path.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Infeasible`] in darkness or when the regulator
 /// cannot reach the processor window from the MPP voltage, and propagates
 /// component errors.
 pub fn optimal_regulated_plan(
-    cell: &SolarCell,
+    cell: &impl PvSource,
     regulator: &dyn Regulator,
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
 ) -> Result<RegulatedPlan, CoreError> {
-    let mpp = cell.mpp().map_err(|e| CoreError::component("solar cell", e))?;
+    let mpp = cell
+        .source_mpp()
+        .map_err(|e| CoreError::component("solar cell", e))?;
     plan_at_rail(mpp.voltage, mpp.power, regulator, cpu)
 }
 
@@ -87,11 +90,11 @@ pub fn optimal_regulated_plan(
 /// Returns [`CoreError::Infeasible`] when no rail voltage yields a feasible
 /// plan (e.g. darkness).
 pub fn optimal_joint_plan(
-    cell: &SolarCell,
+    cell: &impl PvSource,
     regulator: &dyn Regulator,
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
 ) -> Result<RegulatedPlan, CoreError> {
-    let voc = cell.open_circuit_voltage();
+    let voc = cell.source_voc();
     if !voc.is_positive() {
         return Err(CoreError::infeasible(
             "optimal joint plan",
@@ -100,11 +103,42 @@ pub fn optimal_joint_plan(
     }
     let mut best: Option<RegulatedPlan> = None;
     const GRID: usize = 96;
-    for i in 0..GRID {
-        let v_solar = voc * (0.3 + 0.69 * i as f64 / (GRID - 1) as f64);
-        let budget = cell.power_at(v_solar);
-        if !budget.is_positive() {
-            continue;
+    // Visit rails in descending-budget order: the incumbent plan becomes
+    // near-optimal almost immediately, so the branch-and-bound probe below
+    // prunes most of the grid. (The best-frequency rail is not always the
+    // max-budget one — SC ratio cliffs — which is why every rail is still
+    // probed rather than stopping at the first descent.) The sort is
+    // stable, so equal budgets keep their ascending-voltage order.
+    let mut rails: Vec<(Volts, Watts)> = (0..GRID)
+        .filter_map(|i| {
+            let v_solar = voc * (0.3 + 0.69 * i as f64 / (GRID - 1) as f64);
+            let budget = cell.source_power(v_solar);
+            budget.is_positive().then_some((v_solar, budget))
+        })
+        .collect();
+    rails.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite powers"));
+    for (v_solar, budget) in rails {
+        // Branch-and-bound: once an incumbent runs at full clock, a rail
+        // can only beat it by sustaining full speed at a strictly higher
+        // vdd (fmax is monotone in vdd). If the incumbent's own vdd
+        // already over-draws this rail's budget — drawn power rises with
+        // vdd, the same monotonicity the inner bisection relies on — the
+        // constraint boundary here sits at or below it, so one regulator
+        // probe replaces the ~20-conversion inner solve.
+        if let Some(b) = best.as_ref().filter(|b| b.clock_fraction == 1.0) {
+            let (reg_lo, reg_hi) = regulator.output_range(v_solar);
+            if cpu.processor().v_max().min(reg_hi) <= b.vdd {
+                continue;
+            }
+            if b.vdd >= cpu.processor().v_min().max(reg_lo) {
+                let beats = cpu
+                    .pmax(b.vdd)
+                    .and_then(|p_cpu| regulator.convert(v_solar, b.vdd, p_cpu).ok())
+                    .is_some_and(|c| c.p_in < budget);
+                if !beats {
+                    continue;
+                }
+            }
         }
         let Ok(plan) = plan_at_rail(v_solar, budget, regulator, cpu) else {
             continue;
@@ -135,19 +169,19 @@ pub fn plan_at_rail(
     v_solar: Volts,
     p_mpp: Watts,
     regulator: &dyn Regulator,
-    cpu: &Microprocessor,
+    cpu: &impl CpuEval,
 ) -> Result<RegulatedPlan, CoreError> {
     let (reg_lo, reg_hi) = regulator.output_range(v_solar);
-    let lo = cpu.v_min().max(reg_lo);
-    let hi = cpu.v_max().min(reg_hi);
+    let lo = cpu.processor().v_min().max(reg_lo);
+    let hi = cpu.processor().v_max().min(reg_hi);
     if !(lo < hi) {
         return Err(CoreError::infeasible(
             "optimal regulated plan",
             format!(
                 "regulator window [{reg_lo}, {reg_hi}] at rail {v_solar} misses the \
                  processor window [{}, {}]",
-                cpu.v_min(),
-                cpu.v_max()
+                cpu.processor().v_min(),
+                cpu.processor().v_max()
             ),
         ));
     }
@@ -156,7 +190,7 @@ pub fn plan_at_rail(
     // where the operating point is unsupported so bisection avoids it.
     let drawn = |v: f64| -> f64 {
         let vdd = Volts::new(v);
-        let Ok(p_cpu) = cpu.power_at_max_speed(vdd) else {
+        let Some(p_cpu) = cpu.pmax(vdd) else {
             return f64::INFINITY;
         };
         match regulator.convert(v_solar, vdd, p_cpu) {
@@ -166,8 +200,8 @@ pub fn plan_at_rail(
     };
 
     let finish = |vdd: Volts, clock_fraction: f64| -> Result<RegulatedPlan, CoreError> {
-        let frequency = cpu.max_frequency(vdd) * clock_fraction;
-        let p_cpu = cpu.power_model().total(vdd, frequency);
+        let frequency = cpu.fmax(vdd) * clock_fraction;
+        let p_cpu = cpu.ptotal(vdd, frequency);
         let conv = regulator
             .convert(v_solar, vdd, p_cpu)
             .map_err(|e| CoreError::component("regulator", e))?;
@@ -190,14 +224,14 @@ pub fn plan_at_rail(
         // Even the slowest full-speed point over-draws: down-clock at v_min
         // so that the drawn power meets the budget.
         let vdd = lo;
-        let p_leak = cpu.power_model().leakage(vdd);
+        let p_leak = cpu.leak(vdd);
         // Find the clock fraction whose drawn power hits p_mpp (monotone).
         let mut lo_f = 0.0;
         let mut hi_f = 1.0;
-        for _ in 0..64 {
+        while hi_f - lo_f > 1e-6 {
             let mid = 0.5 * (lo_f + hi_f);
-            let f = cpu.max_frequency(vdd) * mid;
-            let p_cpu = cpu.power_model().dynamic(vdd, f) + p_leak;
+            let f = cpu.fmax(vdd) * mid;
+            let p_cpu = cpu.pdyn(vdd, f) + p_leak;
             let p = regulator
                 .convert(v_solar, vdd, p_cpu)
                 .map(|c| c.p_in.watts())
@@ -217,11 +251,14 @@ pub fn plan_at_rail(
         return finish(vdd, lo_f);
     }
     // The constraint boundary lies inside (lo, hi): bisect drawn(v) = p_mpp.
+    // A microvolt on vdd is far below the 0.1% parity contract (and any
+    // physical DVFS step); the old 1e-9 tolerance cost ten extra regulator
+    // conversions per rail for digits nothing downstream could observe.
     let v = hems_units::solve::bisect(
         |v| drawn(v) - p_mpp.watts(),
         lo.volts(),
         hi.volts(),
-        1e-9,
+        1e-6,
     )?;
     finish(Volts::new(v), 1.0)
 }
@@ -232,8 +269,8 @@ pub fn plan_at_rail(
 ///
 /// Propagates [`operating_point::unregulated_point`] failures.
 pub fn unregulated_baseline(
-    cell: &SolarCell,
-    cpu: &Microprocessor,
+    cell: &impl PvSource,
+    cpu: &impl CpuEval,
 ) -> Result<UnregulatedPoint, CoreError> {
     operating_point::unregulated_point(cell, cpu)
 }
@@ -241,7 +278,8 @@ pub fn unregulated_baseline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hems_pv::Irradiance;
+    use hems_cpu::Microprocessor;
+    use hems_pv::{Irradiance, SolarCell};
     use hems_regulator::{BuckRegulator, Ldo, ScRegulator};
 
     fn setup() -> (SolarCell, Microprocessor) {

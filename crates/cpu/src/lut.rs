@@ -1,0 +1,204 @@
+use crate::Microprocessor;
+use hems_units::{Hertz, Joules, MonotoneTable, Volts, Watts};
+
+/// Default knot count for [`CpuLut::build_default`] — comfortably under
+/// 0.1 % full-scale error over the 0.45–1.0 V window for the paper's
+/// alpha-power/exponential-leakage models.
+pub const DEFAULT_CPU_KNOTS: usize = 512;
+
+/// Precomputed `f_max` and leakage tables over a processor's Vdd window.
+///
+/// The two transcendental pieces of the processor model — the alpha-power
+/// frequency law (`powf`) and the exponential leakage — are evaluated on
+/// every solver iteration, and the `hems-core` grid solvers call them tens
+/// of thousands of times per sweep. Total power is *linear* in clock
+/// frequency (`P(v, f) = C_eff·v²·f + P_leak(v)`), so tabulating just
+/// `f_max(v)` and `P_leak(v)` is enough to answer every power query with
+/// one or two O(log knots) lookups; the dynamic term stays exact and free.
+///
+/// # Build and invalidation semantics
+///
+/// A table is valid for exactly one [`Microprocessor`] parameterisation —
+/// it stores its own copy, built once in [`CpuLut::build`]. Processor
+/// models are immutable, so unlike the PV table there is no invalidation
+/// trigger: build one `CpuLut` per processor and share it freely.
+///
+/// # Accuracy contract
+///
+/// Within the operating window, lookups agree with the exact model to
+/// ≤0.1 % relative error (the tabulated quantities never approach zero in
+/// the window, so plain pointwise relative error applies). Outside the
+/// window the table mirrors [`Microprocessor`]: zero frequency, and
+/// leakage clamped to the boundary value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuLut {
+    cpu: Microprocessor,
+    f_max: MonotoneTable,
+    leak: MonotoneTable,
+    knots: usize,
+}
+
+impl CpuLut {
+    /// Builds a table with [`DEFAULT_CPU_KNOTS`] knots.
+    pub fn build_default(cpu: Microprocessor) -> CpuLut {
+        CpuLut::build(cpu, DEFAULT_CPU_KNOTS)
+    }
+
+    /// Builds a table by sampling the exact models at `knots` evenly
+    /// spaced supply voltages across `[v_min, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `knots < 4` (caller bug, not a data condition).
+    pub fn build(cpu: Microprocessor, knots: usize) -> CpuLut {
+        assert!(knots >= 4, "a CPU table needs at least 4 knots");
+        let (lo, hi) = (cpu.v_min().volts(), cpu.v_max().volts());
+        let f_max = MonotoneTable::from_fn(lo, hi, knots, |v| {
+            cpu.frequency_model().max_frequency(Volts::new(v)).hertz()
+        })
+        .expect("validated voltage window yields a valid sampling window");
+        let leak = MonotoneTable::from_fn(lo, hi, knots, |v| {
+            cpu.power_model().leakage(Volts::new(v)).watts()
+        })
+        .expect("validated voltage window yields a valid sampling window");
+        CpuLut {
+            cpu,
+            f_max,
+            leak,
+            knots,
+        }
+    }
+
+    /// The processor snapshot this table was built from.
+    pub fn cpu(&self) -> &Microprocessor {
+        &self.cpu
+    }
+
+    /// Number of knots per table.
+    pub fn knots(&self) -> usize {
+        self.knots
+    }
+
+    /// Interpolated maximum clock at `vdd` (zero outside the window,
+    /// matching [`Microprocessor::max_frequency`]).
+    pub fn max_frequency(&self, vdd: Volts) -> Hertz {
+        if !self.cpu.supports(vdd) {
+            return Hertz::ZERO;
+        }
+        Hertz::new(self.f_max.eval(vdd.volts()))
+    }
+
+    /// Interpolated leakage power at `vdd` (clamped to the window edge
+    /// outside it).
+    pub fn leakage(&self, vdd: Volts) -> Watts {
+        Watts::new(self.leak.eval(vdd.volts()))
+    }
+
+    /// Total power at `(vdd, f)`: exact dynamic term plus interpolated
+    /// leakage. The caller is responsible for `f` being achievable; like
+    /// the exact [`crate::PowerModel::total`], no window or frequency
+    /// check is performed here.
+    pub fn total_power(&self, vdd: Volts, f: Hertz) -> Watts {
+        self.cpu.power_model().dynamic(vdd, f) + self.leakage(vdd)
+    }
+
+    /// Power at maximum speed for `vdd` — the fast path for Fig. 6a's
+    /// processor load curve. Returns `None` outside the window.
+    pub fn power_at_max_speed(&self, vdd: Volts) -> Option<Watts> {
+        if !self.cpu.supports(vdd) {
+            return None;
+        }
+        Some(self.total_power(vdd, self.max_frequency(vdd)))
+    }
+
+    /// Energy per cycle at `vdd` (max-speed convention), unbounded outside
+    /// the window — the fast path under [`Microprocessor::energy_per_cycle`].
+    pub fn energy_per_cycle(&self, vdd: Volts) -> Joules {
+        let f = self.max_frequency(vdd);
+        if !f.is_positive() {
+            return Joules::new(f64::INFINITY);
+        }
+        self.cpu.power_model().dynamic_energy_per_cycle(vdd)
+            + Joules::new(self.leakage(vdd).watts() / f.hertz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(lo: f64, hi: f64, n: usize) -> impl Iterator<Item = f64> {
+        (0..=n).map(move |i| lo + (hi - lo) * i as f64 / n as f64)
+    }
+
+    #[test]
+    fn frequency_parity_within_0p1_percent() {
+        let cpu = Microprocessor::paper_65nm();
+        let lut = CpuLut::build_default(cpu.clone());
+        for v in grid(0.45, 1.0, 1000) {
+            let v = Volts::new(v);
+            let exact = cpu.max_frequency(v).hertz();
+            let fast = lut.max_frequency(v).hertz();
+            let e = (fast - exact).abs() / exact;
+            assert!(e <= 1e-3, "v={v:?}: rel err {e:.2e}");
+        }
+    }
+
+    #[test]
+    fn leakage_parity_within_0p1_percent() {
+        let cpu = Microprocessor::paper_65nm();
+        let lut = CpuLut::build_default(cpu.clone());
+        for v in grid(0.45, 1.0, 1000) {
+            let v = Volts::new(v);
+            let exact = cpu.power_model().leakage(v).watts();
+            let fast = lut.leakage(v).watts();
+            let e = (fast - exact).abs() / exact;
+            assert!(e <= 1e-3, "v={v:?}: rel err {e:.2e}");
+        }
+    }
+
+    #[test]
+    fn max_speed_power_and_energy_parity() {
+        let cpu = Microprocessor::paper_65nm();
+        let lut = CpuLut::build_default(cpu.clone());
+        for v in grid(0.45, 1.0, 500) {
+            let v = Volts::new(v);
+            let p_exact = cpu.power_at_max_speed(v).unwrap().watts();
+            let p_fast = lut.power_at_max_speed(v).unwrap().watts();
+            assert!((p_fast - p_exact).abs() / p_exact <= 1e-3);
+            let e_exact = cpu.energy_per_cycle(v).joules();
+            let e_fast = lut.energy_per_cycle(v).joules();
+            assert!((e_fast - e_exact).abs() / e_exact <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn matches_processor_outside_window() {
+        let cpu = Microprocessor::paper_65nm();
+        let lut = CpuLut::build_default(cpu.clone());
+        assert_eq!(lut.max_frequency(Volts::new(0.3)), Hertz::ZERO);
+        assert_eq!(lut.max_frequency(Volts::new(1.2)), Hertz::ZERO);
+        assert!(lut.power_at_max_speed(Volts::new(0.3)).is_none());
+        assert!(lut.energy_per_cycle(Volts::new(0.3)).value().is_infinite());
+        // Leakage clamps to the window edge.
+        let edge = cpu.power_model().leakage(Volts::new(0.45)).watts();
+        assert!((lut.leakage(Volts::new(0.2)).watts() - edge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_power_is_linear_in_frequency() {
+        let lut = CpuLut::build_default(Microprocessor::paper_65nm());
+        let v = Volts::new(0.6);
+        let f = lut.max_frequency(v);
+        let p0 = lut.total_power(v, Hertz::ZERO).watts();
+        let p1 = lut.total_power(v, f).watts();
+        let ph = lut.total_power(v, f * 0.5).watts();
+        assert!((ph - 0.5 * (p0 + p1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 knots")]
+    fn tiny_tables_are_rejected() {
+        let _ = CpuLut::build(Microprocessor::paper_65nm(), 2);
+    }
+}

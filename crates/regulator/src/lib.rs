@@ -53,7 +53,7 @@ pub use bypass::Bypass;
 pub use error::RegulatorError;
 pub use hybrid::HybridRegulator;
 pub use ldo::Ldo;
-pub use surface::{EfficiencyPoint, EfficiencySweep};
+pub use surface::{EfficiencyGrid, EfficiencyPoint, EfficiencySweep};
 pub use switched_cap::{ScRatio, ScRegulator};
 
 use hems_units::{Efficiency, Volts, Watts};

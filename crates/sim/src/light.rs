@@ -1,7 +1,5 @@
 use hems_pv::Irradiance;
-use hems_units::Seconds;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hems_units::{Seconds, XorShiftRng};
 
 /// A deterministic irradiance-vs-time profile driving the solar cell.
 ///
@@ -112,12 +110,12 @@ impl LightProfile {
         assert!(floor <= ceil, "cloud band is inverted");
         assert!(period.is_positive(), "cloud period must be positive");
         let n = (horizon.seconds() / period.seconds()).ceil() as usize + 2;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let mut samples = Vec::with_capacity(n);
         let mut level = (floor.fraction() + ceil.fraction()) * 0.5;
         let swing = (ceil.fraction() - floor.fraction()).max(1e-9);
         for _ in 0..n {
-            level += rng.gen_range(-0.35..0.35) * swing;
+            level += rng.range_f64(-0.35, 0.35) * swing;
             level = level.clamp(floor.fraction(), ceil.fraction());
             samples.push(level);
         }

@@ -1,0 +1,451 @@
+//! Parallel scenario-sweep engine.
+//!
+//! Figure regeneration and design-space exploration both reduce to the
+//! same shape of work: take the paper's system, vary a few axes
+//! (light level × storage capacitance × regulator topology × control
+//! policy), run the transient integrator for each combination, and keep a
+//! compact per-scenario summary. Scenarios are completely independent, so
+//! the sweep is embarrassingly parallel — this module fans them across a
+//! hand-rolled scoped-thread worker pool with **no new dependencies** and
+//! a hard determinism guarantee:
+//!
+//! > [`run_parallel`] returns *bit-identical* results to [`run_serial`],
+//! > in the same order, for any thread count.
+//!
+//! That holds because each scenario owns its entire state (config,
+//! controller, light profile — the integrator is deterministic and shares
+//! nothing), workers tag every result with its scenario index, and the
+//! merge step places results by index rather than by completion order.
+//! The `determinism` test in this module enforces it.
+//!
+//! Work is distributed by an atomic cursor over fixed-size chunks rather
+//! than pre-partitioned ranges, so a worker that draws short scenarios
+//! (e.g. dark cells that brown out instantly) keeps pulling work instead
+//! of idling.
+//!
+//! ```no_run
+//! use hems_sim::{sweep, SystemConfig};
+//! use hems_pv::Irradiance;
+//! use hems_units::{Seconds, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut grid = sweep::SweepGrid::paper_baseline()?;
+//! grid.irradiances = vec![Irradiance::FULL_SUN, Irradiance::HALF_SUN];
+//! let results = sweep::run_parallel(&grid, sweep::default_threads())?;
+//! for r in &results {
+//!     println!("{}: {:?}", r.label, r.summary.as_ref().map(|s| s.completed_jobs));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    Controller, DutyCycleController, FixedVoltageController, LightProfile, SimError, Simulation,
+    SimulationSummary, SystemConfig,
+};
+use hems_pv::Irradiance;
+use hems_regulator::{AnyRegulator, Regulator, RegulatorKind};
+use hems_storage::Capacitor;
+use hems_units::{Farads, Seconds, Volts};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A control policy as *data*: controllers are stateful and single-run, so
+/// the grid carries constructible descriptions and each scenario builds a
+/// fresh controller from its policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepPolicy {
+    /// Regulate to a fixed supply voltage at a fixed clock fraction.
+    FixedVoltage {
+        /// The supply setpoint.
+        vdd: Volts,
+        /// Fraction of the maximum clock at that supply, in `(0, 1]`.
+        clock_fraction: f64,
+    },
+    /// Comparator-driven duty cycling between a run and a stop threshold.
+    DutyCycle {
+        /// Resume work when the node charges above this.
+        v_run: Volts,
+        /// Stop and recharge when the node sags below this.
+        v_stop: Volts,
+        /// Supply voltage while running.
+        vdd: Volts,
+    },
+}
+
+impl SweepPolicy {
+    /// The paper-typical fixed-voltage policy (0.55 V, full speed).
+    pub fn paper_fixed() -> SweepPolicy {
+        SweepPolicy::FixedVoltage {
+            vdd: Volts::new(0.55),
+            clock_fraction: 1.0,
+        }
+    }
+
+    /// The paper-typical duty-cycling policy.
+    pub fn paper_duty_cycle() -> SweepPolicy {
+        SweepPolicy::DutyCycle {
+            v_run: Volts::new(1.0),
+            v_stop: Volts::new(0.8),
+            vdd: Volts::new(0.55),
+        }
+    }
+
+    /// Builds a fresh controller implementing this policy.
+    fn build(&self) -> Box<dyn Controller> {
+        match *self {
+            SweepPolicy::FixedVoltage {
+                vdd,
+                clock_fraction,
+            } => Box::new(FixedVoltageController::with_clock_fraction(
+                vdd,
+                clock_fraction,
+            )),
+            SweepPolicy::DutyCycle { v_run, v_stop, vdd } => {
+                Box::new(DutyCycleController::new(v_run, v_stop, vdd))
+            }
+        }
+    }
+
+    /// A short human-readable tag (used in result labels and bench JSON).
+    pub fn label(&self) -> String {
+        match self {
+            SweepPolicy::FixedVoltage {
+                vdd,
+                clock_fraction,
+            } => format!("fixed({vdd}@{:.0}%)", clock_fraction * 100.0),
+            SweepPolicy::DutyCycle { v_run, v_stop, .. } => {
+                format!("duty({v_stop}..{v_run})")
+            }
+        }
+    }
+}
+
+/// The sweep's axes plus the per-run settings shared by every scenario.
+///
+/// [`SweepGrid::scenarios`] expands the four axes as a row-major cartesian
+/// product — irradiance outermost, then capacitance, regulator, policy —
+/// which fixes the scenario indices and therefore the result order.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Template configuration; each scenario clones and overrides it.
+    pub base: SystemConfig,
+    /// Light levels (each scenario runs under constant light).
+    pub irradiances: Vec<Irradiance>,
+    /// Storage capacitances substituted into the base capacitor.
+    pub capacitances: Vec<Farads>,
+    /// Regulator topologies.
+    pub regulators: Vec<AnyRegulator>,
+    /// Control policies.
+    pub policies: Vec<SweepPolicy>,
+    /// Initial solar-node voltage.
+    pub v_initial: Volts,
+    /// Simulated duration per scenario.
+    pub duration: Seconds,
+}
+
+impl SweepGrid {
+    /// The paper's Fig. 10 system swept over a small default grid: three
+    /// light levels, the board capacitor, SC vs LDO, both stock policies.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the reference parameters.
+    pub fn paper_baseline() -> Result<SweepGrid, SimError> {
+        let base = SystemConfig::paper_sc_system()?;
+        let c0 = base.capacitor.capacitance();
+        Ok(SweepGrid {
+            base,
+            irradiances: vec![
+                Irradiance::FULL_SUN,
+                Irradiance::HALF_SUN,
+                Irradiance::QUARTER_SUN,
+            ],
+            capacitances: vec![c0],
+            regulators: vec![
+                AnyRegulator::from(hems_regulator::ScRegulator::paper_65nm()),
+                AnyRegulator::from(hems_regulator::Ldo::paper_65nm()),
+            ],
+            policies: vec![SweepPolicy::paper_fixed(), SweepPolicy::paper_duty_cycle()],
+            v_initial: Volts::new(1.1),
+            duration: Seconds::from_milli(100.0),
+        })
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.irradiances.len() * self.capacitances.len() * self.regulators.len()
+            * self.policies.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into its scenario list (row-major, deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a capacitance cannot be realized under the
+    /// base capacitor's voltage rating.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, SimError> {
+        let mut out = Vec::with_capacity(self.len());
+        for &g in &self.irradiances {
+            for &c in &self.capacitances {
+                let mut capacitor = Capacitor::new(c, self.base.capacitor.v_rating())
+                    .map_err(|e| SimError::component("sweep capacitor", e))?;
+                if let Some(r_leak) = self.base.capacitor.leakage_resistance() {
+                    capacitor = capacitor
+                        .with_leakage(r_leak)
+                        .map_err(|e| SimError::component("sweep capacitor", e))?;
+                }
+                for regulator in &self.regulators {
+                    for policy in &self.policies {
+                        let mut config = self.base.clone();
+                        config.cell.set_irradiance(g);
+                        config.capacitor = capacitor.clone();
+                        config.regulator = regulator.clone();
+                        let index = out.len();
+                        out.push(Scenario {
+                            index,
+                            label: format!(
+                                "g={g} C={c} reg={} {}",
+                                regulator.kind(),
+                                policy.label()
+                            ),
+                            config,
+                            policy: policy.clone(),
+                            v_initial: self.v_initial,
+                            duration: self.duration,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One expanded grid point: everything a worker needs, owned.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the grid's row-major expansion (= result position).
+    pub index: usize,
+    /// Human-readable description of the grid point.
+    pub label: String,
+    /// The fully substituted system configuration.
+    pub config: SystemConfig,
+    /// The control policy to instantiate.
+    pub policy: SweepPolicy,
+    /// Initial solar-node voltage.
+    pub v_initial: Volts,
+    /// Simulated duration.
+    pub duration: Seconds,
+}
+
+/// Per-scenario outcome. Infeasible scenarios (e.g. an initial voltage
+/// above a small capacitor's rating) carry the error text instead of
+/// aborting the whole sweep; errors are rendered to `String` so outcomes
+/// stay `Clone + PartialEq` for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario's grid index.
+    pub index: usize,
+    /// The scenario's label.
+    pub label: String,
+    /// The light level it ran under.
+    pub irradiance: Irradiance,
+    /// Its storage capacitance.
+    pub capacitance: Farads,
+    /// Its regulator topology.
+    pub regulator: RegulatorKind,
+    /// The end-of-run summary, or the error that prevented the run.
+    pub summary: Result<SimulationSummary, String>,
+}
+
+/// Runs one scenario to completion on the current thread.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let irradiance = scenario.config.cell.irradiance();
+    let capacitance = scenario.config.capacitor.capacitance();
+    let regulator = scenario.config.regulator.kind();
+    let light = LightProfile::constant(irradiance);
+    let summary = Simulation::new(scenario.config.clone(), light, scenario.v_initial)
+        .map(|mut sim| {
+            let mut controller = scenario.policy.build();
+            sim.run(controller.as_mut(), scenario.duration)
+        })
+        .map_err(|e| e.to_string());
+    ScenarioResult {
+        index: scenario.index,
+        label: scenario.label.clone(),
+        irradiance,
+        capacitance,
+        regulator,
+        summary,
+    }
+}
+
+/// Runs the whole grid on the calling thread, in grid order — the
+/// reference the parallel path is measured (and tested) against.
+///
+/// # Errors
+///
+/// Propagates grid-expansion failures; individual scenario failures are
+/// embedded in their [`ScenarioResult`].
+pub fn run_serial(grid: &SweepGrid) -> Result<Vec<ScenarioResult>, SimError> {
+    Ok(grid.scenarios()?.iter().map(run_scenario).collect())
+}
+
+/// Runs the grid across `threads` scoped worker threads.
+///
+/// Workers pull fixed-size chunks of scenario indices from a shared atomic
+/// cursor (work stealing without a queue structure: the cursor *is* the
+/// queue), buffer `(index, result)` pairs locally, and the merge step
+/// scatters them into the output by index — so the returned `Vec` is
+/// bit-identical to [`run_serial`]'s for any `threads ≥ 1`.
+///
+/// # Errors
+///
+/// Propagates grid-expansion failures.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a scenario's integrator paniced —
+/// a bug, not a data condition).
+pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResult>, SimError> {
+    let scenarios = grid.scenarios()?;
+    let n = scenarios.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return Ok(scenarios.iter().map(run_scenario).collect());
+    }
+    // ~4 chunks per worker balances steal granularity against contention.
+    let chunk = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let buffers: Vec<Vec<(usize, ScenarioResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let scenarios = &scenarios;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for scenario in &scenarios[start..(start + chunk).min(n)] {
+                            local.push((scenario.index, run_scenario(scenario)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
+    for (index, result) in buffers.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "scenario {index} ran twice");
+        slots[index] = Some(result);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every scenario index produced a result"))
+        .collect())
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        let mut grid = SweepGrid::paper_baseline().unwrap();
+        // Keep the test fast: short runs, two light levels.
+        grid.irradiances = vec![Irradiance::FULL_SUN, Irradiance::QUARTER_SUN];
+        grid.duration = Seconds::from_milli(20.0);
+        grid
+    }
+
+    #[test]
+    fn grid_expansion_is_row_major_and_sized() {
+        let grid = small_grid();
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), grid.len());
+        assert_eq!(grid.len(), 2 * 1 * 2 * 2);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        // Policy is the innermost axis: consecutive scenarios differ in
+        // policy first.
+        assert_ne!(scenarios[0].policy, scenarios[1].policy);
+        assert_eq!(
+            scenarios[0].config.regulator.kind(),
+            scenarios[1].config.regulator.kind()
+        );
+    }
+
+    #[test]
+    fn serial_sweep_produces_plausible_summaries() {
+        let results = run_serial(&small_grid()).unwrap();
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            let summary = r.summary.as_ref().expect("baseline grid is feasible");
+            assert!(summary.ledger.total_time.is_positive(), "{}", r.label);
+        }
+        // Full sun delivers more CPU energy than quarter sun under the
+        // same (first) regulator+policy.
+        let full = results[0].summary.as_ref().unwrap();
+        let quarter = results[4].summary.as_ref().unwrap();
+        assert!(full.ledger.delivered_to_cpu > quarter.ledger.delivered_to_cpu);
+    }
+
+    #[test]
+    fn determinism_parallel_matches_serial_bitwise() {
+        let grid = small_grid();
+        let serial = run_serial(&grid).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let parallel = run_parallel(&grid, threads).unwrap();
+            assert_eq!(serial, parallel, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let mut grid = small_grid();
+        grid.irradiances.truncate(1);
+        grid.policies.truncate(1);
+        grid.regulators.truncate(1); // 1 scenario
+        let results = run_parallel(&grid, 64).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_scenarios_carry_errors_not_aborts() {
+        let mut grid = small_grid();
+        // Initial voltage above the capacitor rating: Simulation::new fails.
+        grid.v_initial = Volts::new(5.0);
+        let results = run_serial(&grid).unwrap();
+        assert!(results.iter().all(|r| r.summary.is_err()));
+        // And the parallel path reports the identical errors.
+        assert_eq!(results, run_parallel(&grid, 4).unwrap());
+    }
+
+    #[test]
+    fn empty_axis_yields_empty_sweep() {
+        let mut grid = small_grid();
+        grid.policies.clear();
+        assert!(grid.is_empty());
+        assert!(run_parallel(&grid, 4).unwrap().is_empty());
+    }
+}

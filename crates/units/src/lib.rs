@@ -31,10 +31,12 @@ mod error;
 pub mod interp;
 mod quantity;
 mod ratio;
+mod rng;
 pub mod solve;
 
 pub use error::{SolveError, UnitsError};
-pub use interp::LinearTable;
+pub use interp::{LinearTable, MonotoneTable};
+pub use rng::XorShiftRng;
 pub use quantity::{
     Amps, Coulombs, Cycles, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts,
 };

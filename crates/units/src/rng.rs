@@ -1,0 +1,174 @@
+//! A small vendored pseudo-random number generator.
+//!
+//! The workspace builds with no network access, so it cannot depend on the
+//! `rand` crate. The stochastic pieces of the reproduction (seeded cloud
+//! cover, synthetic camera frames) only need a deterministic, seedable,
+//! statistically reasonable generator — not a cryptographic one — which a
+//! 16-byte xorshift variant provides. The implementation is
+//! `xorshift64*` (Marsaglia 2003; Vigna 2016): a 64-bit xorshift step
+//! followed by a multiplicative scramble of the output.
+//!
+//! Determinism is part of the contract: the same seed always yields the
+//! same sequence, on every platform, forever. Simulation fixtures and the
+//! parallel sweep engine rely on this to make runs reproducible.
+
+/// A seedable `xorshift64*` pseudo-random number generator.
+///
+/// ```
+/// use hems_units::XorShiftRng;
+///
+/// let mut a = XorShiftRng::seed_from_u64(42);
+/// let mut b = XorShiftRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range_f64(0.25, 0.75);
+/// assert!((0.25..0.75).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Builds a generator from a 64-bit seed.
+    ///
+    /// Any seed is accepted; zero (a fixed point of the raw xorshift step)
+    /// is remapped to a non-zero constant, and every seed is pre-mixed with
+    /// a SplitMix64 step so that consecutive small seeds produce unrelated
+    /// streams.
+    pub fn seed_from_u64(seed: u64) -> XorShiftRng {
+        // One round of SplitMix64 decorrelates adjacent seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShiftRng {
+            state: if z == 0 { 0x853C_49E6_748F_EA9B } else { z },
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits; the scrambled high bits are the best ones.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, n)` via rejection-free multiply-shift
+    /// (Lemire's method without the correction, which is fine at the
+    /// statistical quality this workspace needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below_u32(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "below_u32 needs n > 0");
+        (((self.next_u64() >> 32) * n as u64) >> 32) as u32
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "bad range [{lo}, {hi})");
+        lo + self.below_u32(hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShiftRng::seed_from_u64(7);
+        let mut b = XorShiftRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShiftRng::seed_from_u64(1);
+        let mut b = XorShiftRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShiftRng::seed_from_u64(0);
+        let first = r.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, r.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_covers_it() {
+        let mut r = XorShiftRng::seed_from_u64(1234);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        let mut sum = 0.0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "out of range: {x}");
+            lo_seen |= x < 0.1;
+            hi_seen |= x > 0.9;
+            sum += x;
+        }
+        assert!(lo_seen && hi_seen);
+        // Mean of U[0,1) over 10k draws is 0.5 within ~1.5%.
+        assert!((sum / N as f64 - 0.5).abs() < 0.015);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = XorShiftRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n = r.range_u32(5, 12);
+            assert!((5..12).contains(&n));
+        }
+        // Every value of a small integer range appears.
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[(r.range_u32(5, 12) - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_float_range_panics() {
+        let _ = XorShiftRng::seed_from_u64(0).range_f64(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn zero_width_integer_range_panics() {
+        let _ = XorShiftRng::seed_from_u64(0).below_u32(0);
+    }
+}

@@ -13,9 +13,9 @@
 //! ```
 
 use hems_core::frontier::{pareto_front, sustainable_frontier};
-use hems_cpu::Microprocessor;
+use hems_cpu::{CpuLut, Microprocessor};
 use hems_imgproc::{Frame, Shape, WindowDetector};
-use hems_pv::{Irradiance, SolarCell};
+use hems_pv::{Irradiance, PvLut, SolarCell};
 use hems_regulator::ScRegulator;
 use hems_sim::{FixedVoltageController, Job, LightProfile, Simulation, SystemConfig};
 use hems_units::{Seconds, Volts};
@@ -24,6 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     let sc = ScRegulator::paper_65nm();
     let cpu = Microprocessor::paper_65nm();
+
+    // Build the device-model LUTs once up front; every frontier query below
+    // then answers from interpolated tables instead of re-running the
+    // implicit diode solve (same ≤0.1% answers, an order of magnitude
+    // faster — see BENCH_sweep.json).
+    let pv_lut = PvLut::build_default(cell.clone())?;
+    let cpu_lut = CpuLut::build_default(cpu.clone());
 
     // The heavy workload: one sliding-window detector pass per frame.
     let detector = WindowDetector::paper_default()?;
@@ -35,8 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         detector.window_count(64, 64)
     );
 
-    // The sustainable frontier under full sun through the SC regulator.
-    let sweep = sustainable_frontier(&cell, &sc, &cpu, 64)?;
+    // The sustainable frontier under full sun through the SC regulator,
+    // on the LUT fast path.
+    let sweep = sustainable_frontier(&pv_lut, &sc, &cpu_lut, 64)?;
     let front = pareto_front(&sweep);
     println!("\nPareto frontier (full sun, SC regulator):");
     println!("  Vdd (V)   f (MHz)  E/cyc (pJ)  detector fps");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, the full test suite, and a
+# smoke pass of the benchmark harness (one un-warmed call per bench, so
+# every bench target's code path runs and BENCH_sweep.json is written).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --workspace
+
+echo "== tier-1: tests =="
+cargo test -q --workspace
+
+echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
+HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
+
+echo "verify: OK"

