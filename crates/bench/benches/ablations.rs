@@ -15,9 +15,7 @@ use hems_mppt::{
     FractionalVoc, MppLookupTable, MppTracker, Observation, PerturbObserve, TimeBasedTracker,
 };
 use hems_pv::{Irradiance, SolarCell};
-use hems_sim::{
-    LightProfile, MpptDvfsController, OcSampling, Simulation, SystemConfig,
-};
+use hems_sim::{LightProfile, MpptDvfsController, OcSampling, Simulation, SystemConfig};
 use hems_storage::{Capacitor, ComparatorBank};
 use hems_units::{Efficiency, Farads, Seconds, Volts, Watts};
 use std::hint::black_box;
@@ -63,8 +61,7 @@ fn threshold_spacing_accuracy() {
         let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
         let mut cap = Capacitor::paper_board();
         cap.set_voltage(Volts::new(1.05)).unwrap();
-        let mut bank =
-            ComparatorBank::new(&[v1, v2], Volts::from_milli(2.0)).expect("valid bank");
+        let mut bank = ComparatorBank::new(&[v1, v2], Volts::from_milli(2.0)).expect("valid bank");
         let mut tracker = TimeBasedTracker::new(
             Farads::from_micro(100.0),
             v1,
@@ -81,8 +78,7 @@ fn threshold_spacing_accuracy() {
             let now = Seconds::new(i as f64 * dt.seconds());
             let p_harvest = cell.power_at(cap.voltage());
             cap.step_power(p_harvest - p_drawn, dt);
-            let mut obs =
-                Observation::basic(now, cap.voltage(), p_drawn, Efficiency::UNITY);
+            let mut obs = Observation::basic(now, cap.voltage(), p_drawn, Efficiency::UNITY);
             obs.crossings = bank.update(cap.voltage(), now);
             tracker.update(&obs);
             if let Some(est) = tracker.last_estimate() {
@@ -127,16 +123,24 @@ fn mppt_shootout() {
     let period = Seconds::from_milli(1.0);
     let mut rows = Vec::new();
     let (h, cyc) = run(&|| {
-        MpptDvfsController::new(Box::new(PerturbObserve::paper_default()), ladder.clone(), period)
-            .with_power_sensor()
+        MpptDvfsController::new(
+            Box::new(PerturbObserve::paper_default()),
+            ladder.clone(),
+            period,
+        )
+        .with_power_sensor()
     });
     rows.push(vec!["perturb-observe".into(), f3(h), f3(cyc)]);
     let (h, cyc) = run(&|| {
-        MpptDvfsController::new(Box::new(FractionalVoc::paper_default()), ladder.clone(), period)
-            .with_oc_sampling(OcSampling {
-                period: Seconds::from_milli(500.0),
-                duration: Seconds::from_milli(20.0),
-            })
+        MpptDvfsController::new(
+            Box::new(FractionalVoc::paper_default()),
+            ladder.clone(),
+            period,
+        )
+        .with_oc_sampling(OcSampling {
+            period: Seconds::from_milli(500.0),
+            duration: Seconds::from_milli(20.0),
+        })
     });
     rows.push(vec!["fractional-voc".into(), f3(h), f3(cyc)]);
     let (h, cyc) = run(&|| {
@@ -163,7 +167,11 @@ fn joint_rail_optimization() {
     let cpu = Microprocessor::paper_65nm();
     let sc = hems_regulator::ScRegulator::paper_65nm();
     let mut rows = Vec::new();
-    for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::new(0.35).unwrap()] {
+    for g in [
+        Irradiance::FULL_SUN,
+        Irradiance::HALF_SUN,
+        Irradiance::new(0.35).unwrap(),
+    ] {
         let cell = SolarCell::kxob22(g);
         let (Ok(pinned), Ok(joint)) = (
             hems_core::optimal_voltage::optimal_regulated_plan(&cell, &sc, &cpu),
@@ -181,7 +189,13 @@ fn joint_rail_optimization() {
     }
     print_series(
         "Ablation: MPP-pinned (eqs. 1-4) vs joint rail+supply optimization",
-        &["light", "pinned rail (V)", "f (MHz)", "joint rail (V)", "f (MHz)"],
+        &[
+            "light",
+            "pinned rail (V)",
+            "f (MHz)",
+            "joint rail (V)",
+            "f (MHz)",
+        ],
         &rows,
     );
     // The quantized-Vdd cliff itself.
@@ -238,7 +252,12 @@ fn holistic_vs_oracle() {
     }
     print_series(
         "Ablation: runtime holistic controller vs light-omniscient oracle (2 s)",
-        &["light", "oracle (Mcyc)", "holistic (Mcyc)", "fraction of oracle"],
+        &[
+            "light",
+            "oracle (Mcyc)",
+            "holistic (Mcyc)",
+            "fraction of oracle",
+        ],
         &rows,
     );
 }
@@ -249,8 +268,7 @@ fn energy_performance_frontier() {
     let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     let sc = hems_regulator::ScRegulator::paper_65nm();
     let cpu = Microprocessor::paper_65nm();
-    let sweep =
-        hems_core::frontier::sustainable_frontier(&cell, &sc, &cpu, 48).expect("feasible");
+    let sweep = hems_core::frontier::sustainable_frontier(&cell, &sc, &cpu, 48).expect("feasible");
     let front = hems_core::frontier::pareto_front(&sweep);
     let rows: Vec<Vec<String>> = front
         .iter()

@@ -13,9 +13,7 @@ use hems_core::{mep, HolisticController, Mode};
 use hems_cpu::Microprocessor;
 use hems_pv::Irradiance;
 use hems_regulator::ScRegulator;
-use hems_sim::{
-    Controller, FixedVoltageController, Job, LightProfile, Simulation, SystemConfig,
-};
+use hems_sim::{Controller, FixedVoltageController, Job, LightProfile, Simulation, SystemConfig};
 use hems_units::{Cycles, Seconds, Volts};
 use std::hint::black_box;
 
@@ -44,7 +42,13 @@ fn fig11a() {
     }
     print_series(
         "Fig. 11a: speed and energy contributors vs Vdd",
-        &["Vdd (V)", "f (GHz)", "E_dyn (pJ)", "E_leak (pJ)", "E_sys (pJ)"],
+        &[
+            "Vdd (V)",
+            "f (GHz)",
+            "E_dyn (pJ)",
+            "E_leak (pJ)",
+            "E_sys (pJ)",
+        ],
         &rows,
     );
     let conv = cpu.conventional_mep().unwrap();

@@ -48,7 +48,11 @@ fn regenerate() -> Vec<Vec<String>> {
 fn main() {
     let mut c = Harness::from_env();
     let rows = regenerate();
-    print_series("Fig. 2: I-V curves vs light", &["condition", "V (V)", "I (mA)"], &rows);
+    print_series(
+        "Fig. 2: I-V curves vs light",
+        &["condition", "V (V)", "I (mA)"],
+        &rows,
+    );
     let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     c.bench_function("fig2/iv_curve_sampling", || black_box(cell.iv_curve(128)));
     c.bench_function("fig2/mpp_search", || black_box(cell.mpp().unwrap()));

@@ -52,7 +52,11 @@ fn regenerate() -> Vec<Vec<String>> {
             "[fig5] load {p_mw:>5.1} mW: SC {:.1}% vs buck {:.1}% -> {}",
             eta(&sc),
             eta(&buck),
-            if eta(&buck) > eta(&sc) { "buck wins" } else { "SC wins" }
+            if eta(&buck) > eta(&sc) {
+                "buck wins"
+            } else {
+                "SC wins"
+            }
         );
     }
     rows

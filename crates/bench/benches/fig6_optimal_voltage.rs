@@ -56,7 +56,14 @@ fn regenerate() {
     }
     print_series(
         "Fig. 6b: optimal regulated plans vs unregulated (paper: SC +31% power, +18% speed)",
-        &["regulator", "Vdd (V)", "f (MHz)", "P_cpu (mW)", "power", "speed"],
+        &[
+            "regulator",
+            "Vdd (V)",
+            "f (MHz)",
+            "P_cpu (mW)",
+            "power",
+            "speed",
+        ],
         &rows,
     );
 }

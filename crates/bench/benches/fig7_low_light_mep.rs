@@ -32,7 +32,12 @@ fn regenerate() {
                 cmp.irradiance.to_string(),
                 mw(cmp.regulated),
                 mw(cmp.bypassed),
-                if cmp.bypass_wins() { "bypass" } else { "regulated" }.to_string(),
+                if cmp.bypass_wins() {
+                    "bypass"
+                } else {
+                    "regulated"
+                }
+                .to_string(),
             ]
         })
         .collect();
@@ -48,7 +53,10 @@ fn regenerate() {
         Irradiance::new(0.05).unwrap(),
         Irradiance::FULL_SUN,
     ) {
-        println!("[fig7a] calibrated bypass crossover: {}", policy.crossover());
+        println!(
+            "[fig7a] calibrated bypass crossover: {}",
+            policy.crossover()
+        );
     }
 
     // Fig. 7b: MEP comparison per regulator.
@@ -67,7 +75,13 @@ fn regenerate() {
         .collect();
     print_series(
         "Fig. 7b: conventional vs holistic MEP (paper: +0.1 V shift, 31% savings)",
-        &["regulator", "conv MEP (V)", "holistic MEP (V)", "shift", "savings"],
+        &[
+            "regulator",
+            "conv MEP (V)",
+            "holistic MEP (V)",
+            "shift",
+            "savings",
+        ],
         &rows,
     );
 }

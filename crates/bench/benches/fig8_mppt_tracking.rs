@@ -25,11 +25,8 @@ fn run_step(g_after: Irradiance, p_drawn_mw: f64) -> StepOutcome {
     let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
     let mut cap = Capacitor::paper_board();
     cap.set_voltage(Volts::new(1.1)).unwrap();
-    let mut bank = ComparatorBank::new(
-        &[Volts::new(1.0), Volts::new(0.9)],
-        Volts::from_milli(2.0),
-    )
-    .unwrap();
+    let mut bank =
+        ComparatorBank::new(&[Volts::new(1.0), Volts::new(0.9)], Volts::from_milli(2.0)).unwrap();
     let mut tracker = TimeBasedTracker::paper_default();
     let p_drawn = Watts::from_milli(p_drawn_mw);
     let dt = Seconds::from_micro(50.0);
@@ -77,14 +74,24 @@ fn regenerate() {
             name.to_string(),
             format!("{:.2}", out.estimate_mw),
             format!("{:.2}", out.truth_mw),
-            format!("{:.1}%", (out.estimate_mw / out.truth_mw - 1.0).abs() * 100.0),
+            format!(
+                "{:.1}%",
+                (out.estimate_mw / out.truth_mw - 1.0).abs() * 100.0
+            ),
             f3(out.target_v),
             f3(out.true_mpp_v),
         ]);
     }
     print_series(
         "Fig. 8: time-based Pin estimation after a light step (eq. 7)",
-        &["step", "est Pin (mW)", "true Pin (mW)", "err", "LUT target (V)", "true MPP (V)"],
+        &[
+            "step",
+            "est Pin (mW)",
+            "true Pin (mW)",
+            "err",
+            "LUT target (V)",
+            "true MPP (V)",
+        ],
         &rows,
     );
     // Fig. 8c-style waveform of the quarter-sun step.

@@ -55,12 +55,8 @@ fn regenerate() {
     cap.set_voltage(Volts::new(1.2)).unwrap();
     let mut rows = Vec::new();
     for beta in [0.0, 0.1, 0.2, 0.3, 0.4] {
-        let plan = SprintPlan::new(
-            beta,
-            Seconds::from_milli(30.0),
-            Watts::from_milli(6.0),
-        )
-        .unwrap();
+        let plan =
+            SprintPlan::new(beta, Seconds::from_milli(30.0), Watts::from_milli(6.0)).unwrap();
         let cmp = plan.compare_against_constant(&dim_cell, &cap, Seconds::from_micro(20.0));
         rows.push(vec![
             f3(beta),
@@ -90,16 +86,9 @@ fn main() {
         black_box(solver.solve(Cycles::new(10.0e6)).unwrap())
     });
     let dim_cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
-    let plan = SprintPlan::paper_20_percent(
-        Seconds::from_milli(30.0),
-        Watts::from_milli(6.0),
-    )
-    .unwrap();
+    let plan =
+        SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0)).unwrap();
     c.bench_function("fig9/sprint_comparison", || {
-        black_box(plan.compare_against_constant(
-            &dim_cell,
-            &cap,
-            Seconds::from_micro(50.0),
-        ))
+        black_box(plan.compare_against_constant(&dim_cell, &cap, Seconds::from_micro(50.0)))
     });
 }

@@ -18,7 +18,11 @@ use std::hint::black_box;
 fn batch_chain() -> TaskChain {
     let mut tasks = Vec::new();
     for i in 0..8 {
-        tasks.push(Task::new(format!("scan-{i}"), Cycles::new(170_000.0), 2_048));
+        tasks.push(Task::new(
+            format!("scan-{i}"),
+            Cycles::new(170_000.0),
+            2_048,
+        ));
         tasks.push(Task::new(
             format!("process-{i}"),
             Cycles::new(875_000.0),
@@ -73,7 +77,15 @@ fn regenerate() {
     }
     print_series(
         "Intermittency ablation: checkpoint policy x NVM under cloud-driven brownouts",
-        &["NVM", "policy", "batches", "goodput", "wasted (Mcyc)", "ckpt (Mcyc)", "rollbacks"],
+        &[
+            "NVM",
+            "policy",
+            "batches",
+            "goodput",
+            "wasted (Mcyc)",
+            "ckpt (Mcyc)",
+            "rollbacks",
+        ],
         &rows,
     );
 }

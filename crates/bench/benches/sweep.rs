@@ -59,11 +59,7 @@ fn light_levels() -> Vec<Irradiance> {
 /// three topologies (Fig. 6b), the joint rail/supply optimization, the
 /// sustainable frontier, and the system-MEP search (Fig. 7b). Returns an
 /// accumulator so nothing is optimized away.
-fn figure_workload(
-    cell: &impl PvSource,
-    cpu: &impl CpuEval,
-    regs: &[&dyn Regulator],
-) -> f64 {
+fn figure_workload(cell: &impl PvSource, cpu: &impl CpuEval, regs: &[&dyn Regulator]) -> f64 {
     let mut acc = 0.0;
     if let Ok(u) = operating_point::unregulated_point(cell, cpu) {
         acc += u.power.watts();
@@ -203,7 +199,9 @@ fn main() {
         .clone();
     let build = c
         .bench_function("solvers/pv_lut_build", || {
-            black_box(PvLut::build_default(SolarCell::kxob22(Irradiance::HALF_SUN)))
+            black_box(PvLut::build_default(SolarCell::kxob22(
+                Irradiance::HALF_SUN,
+            )))
         })
         .clone();
     let solver_speedup = exact.median_ns / lut.median_ns;

@@ -68,10 +68,7 @@ pub fn fig7a(
 }
 
 /// Fig. 7b / Fig. 11a: conventional-vs-holistic MEP for each regulator.
-pub fn fig7b(
-    cpu: &Microprocessor,
-    v_in: hems_units::Volts,
-) -> Vec<(RegulatorKind, MepComparison)> {
+pub fn fig7b(cpu: &Microprocessor, v_in: hems_units::Volts) -> Vec<(RegulatorKind, MepComparison)> {
     AnyRegulator::paper_lineup()
         .into_iter()
         .filter(|r| r.kind() != RegulatorKind::Bypass)
@@ -145,7 +142,11 @@ mod tests {
             &model,
             &sc,
             &cpu,
-            &[Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::QUARTER_SUN],
+            &[
+                Irradiance::FULL_SUN,
+                Irradiance::HALF_SUN,
+                Irradiance::QUARTER_SUN,
+            ],
         );
         assert_eq!(rows.len(), 3);
         assert!(!rows[0].bypass_wins());
@@ -172,9 +173,21 @@ mod tests {
     fn headline_numbers_land_in_paper_bands() {
         let cpu = Microprocessor::paper_65nm();
         let h = headline_numbers(&cpu).unwrap();
-        assert!((0.15..0.45).contains(&h.sc_power_gain), "power gain {}", h.sc_power_gain);
-        assert!((0.05..0.35).contains(&h.sc_speedup), "speedup {}", h.sc_speedup);
-        assert!((0.15..0.40).contains(&h.mep_savings), "savings {}", h.mep_savings);
+        assert!(
+            (0.15..0.45).contains(&h.sc_power_gain),
+            "power gain {}",
+            h.sc_power_gain
+        );
+        assert!(
+            (0.05..0.35).contains(&h.sc_speedup),
+            "speedup {}",
+            h.sc_speedup
+        );
+        assert!(
+            (0.15..0.40).contains(&h.mep_savings),
+            "savings {}",
+            h.mep_savings
+        );
         assert!(
             (0.03..0.12).contains(&h.mep_shift_volts),
             "shift {}",

@@ -314,8 +314,7 @@ impl HolisticController {
                     // very dim (Voc below ~1.05 V means < ~10 % sun). Abort
                     // and let the low-light machinery take over.
                     self.recal_phase = None;
-                    self.next_recalibration =
-                        view.now + self.config.recalibration_period;
+                    self.next_recalibration = view.now + self.config.recalibration_period;
                 } else {
                     return ControlDecision::sleep();
                 }
@@ -327,12 +326,10 @@ impl HolisticController {
                     // The armed V1->V2 window completed: estimate refreshed.
                     self.recal_phase = None;
                     self.recal_saw_measurement = false;
-                    self.next_recalibration =
-                        view.now + self.config.recalibration_period;
+                    self.next_recalibration = view.now + self.config.recalibration_period;
                     self.v_target = (self.v_target - Volts::from_milli(50.0))
                         .clamp(view.cpu.v_min(), view.cpu.v_max());
-                } else if view.now - self.recal_phase_started > Seconds::from_milli(100.0)
-                {
+                } else if view.now - self.recal_phase_started > Seconds::from_milli(100.0) {
                     // Draw not large enough to dip: push harder.
                     self.recal_phase_started = view.now;
                     self.v_target = (self.v_target + Volts::from_milli(50.0))
@@ -382,8 +379,7 @@ impl HolisticController {
             self.last_error = error.volts();
             let delta = (error * 0.05 + derivative * 2.0)
                 .clamp(Volts::from_milli(-25.0), Volts::from_milli(25.0));
-            self.v_target =
-                (self.v_target + delta).clamp(view.cpu.v_min(), view.cpu.v_max());
+            self.v_target = (self.v_target + delta).clamp(view.cpu.v_min(), view.cpu.v_max());
             self.v_target_ema = self.v_target_ema + (self.v_target - self.v_target_ema) * 0.02;
         }
         // Emergency load shed when the node nears the processor window.
@@ -513,11 +509,9 @@ impl Controller for HolisticController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hems_units::Cycles;
     use hems_pv::Irradiance;
-    use hems_sim::{
-        FixedVoltageController, Job, LightProfile, Simulation, SystemConfig,
-    };
+    use hems_sim::{FixedVoltageController, Job, LightProfile, Simulation, SystemConfig};
+    use hems_units::Cycles;
 
     fn sim_with(light: LightProfile, v0: f64) -> Simulation {
         let config = SystemConfig::paper_sc_system().unwrap();
@@ -526,10 +520,7 @@ mod tests {
 
     #[test]
     fn max_performance_tracks_the_mpp() {
-        let mut sim = sim_with(
-            LightProfile::constant(Irradiance::FULL_SUN),
-            1.1,
-        );
+        let mut sim = sim_with(LightProfile::constant(Irradiance::FULL_SUN), 1.1);
         sim.enable_recorder(10);
         let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
         sim.run(&mut ctl, Seconds::from_milli(400.0));
@@ -537,8 +528,7 @@ mod tests {
         // judge the time average, not one instant of the damped swing.
         let samples = sim.recorder().unwrap().samples();
         let tail = &samples[samples.len() / 2..];
-        let mean_v: f64 =
-            tail.iter().map(|s| s.v_solar.volts()).sum::<f64>() / tail.len() as f64;
+        let mean_v: f64 = tail.iter().map(|s| s.v_solar.volts()).sum::<f64>() / tail.len() as f64;
         assert!(
             (mean_v - 1.1).abs() < 0.08,
             "node averaged {mean_v:.3} V, MPP is ~1.1 V"
@@ -623,8 +613,7 @@ mod tests {
             .filter(|s| s.vdd.is_positive())
             .collect();
         assert!(!active.is_empty());
-        let mean_vdd: f64 =
-            active.iter().map(|s| s.vdd.volts()).sum::<f64>() / active.len() as f64;
+        let mean_vdd: f64 = active.iter().map(|s| s.vdd.volts()).sum::<f64>() / active.len() as f64;
         assert!(
             (0.48..0.65).contains(&mean_vdd),
             "MinEnergy ran at {mean_vdd:.3} V"
@@ -726,8 +715,7 @@ mod tests {
         sim.run(&mut ctl, Seconds::from_milli(600.0));
         let samples = sim.recorder().unwrap().samples();
         let tail = &samples[samples.len() * 3 / 4..];
-        let mean_v: f64 =
-            tail.iter().map(|s| s.v_solar.volts()).sum::<f64>() / tail.len() as f64;
+        let mean_v: f64 = tail.iter().map(|s| s.v_solar.volts()).sum::<f64>() / tail.len() as f64;
         assert!(
             (1.0..1.06).contains(&mean_v),
             "rail averaged {mean_v:.3} V; expected just above the 2:1 boundary"

@@ -122,7 +122,10 @@ impl<'a> DeadlineSolver<'a> {
     pub fn available_energy(&self, t: Seconds) -> Result<Joules, CoreError> {
         let v0 = self.capacitor.voltage();
         let usable = self.capacitor.capacitance().stored_energy(v0)
-            - self.capacitor.capacitance().stored_energy(self.v_floor.min(v0));
+            - self
+                .capacitor
+                .capacitance()
+                .stored_energy(self.v_floor.min(v0));
         let p_mpp = self
             .cell
             .mpp()
@@ -199,7 +202,12 @@ mod tests {
         let cell = SolarCell::kxob22(g);
         let mut cap = Capacitor::paper_board();
         cap.set_voltage(Volts::new(v0)).unwrap();
-        (cell, ScRegulator::paper_65nm(), Microprocessor::paper_65nm(), cap)
+        (
+            cell,
+            ScRegulator::paper_65nm(),
+            Microprocessor::paper_65nm(),
+            cap,
+        )
     }
 
     #[test]
@@ -236,8 +244,7 @@ mod tests {
         let solver = DeadlineSolver::new(&cell, &sc, &cpu, &cap, Volts::new(0.5));
         let n = Cycles::new(10.0e6);
         let plan = solver.solve(n).unwrap();
-        let rel =
-            (plan.e_required - plan.e_available).abs().joules() / plan.e_available.joules();
+        let rel = (plan.e_required - plan.e_available).abs().joules() / plan.e_available.joules();
         // Either the curves balance (the bisected intersection) or the
         // system was energy-rich and the clock ceiling binds instead.
         assert!(
@@ -271,11 +278,8 @@ mod tests {
         let small = DeadlineSolver::new(&cell, &sc, &cpu, &small_cap, Volts::new(0.5))
             .solve(n)
             .unwrap();
-        let mut big_cap = Capacitor::new(
-            hems_units::Farads::from_micro(1000.0),
-            Volts::new(1.6),
-        )
-        .unwrap();
+        let mut big_cap =
+            Capacitor::new(hems_units::Farads::from_micro(1000.0), Volts::new(1.6)).unwrap();
         big_cap.set_voltage(Volts::new(1.2)).unwrap();
         let big = DeadlineSolver::new(&cell, &sc, &cpu, &big_cap, Volts::new(0.5))
             .solve(n)

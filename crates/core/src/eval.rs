@@ -159,10 +159,7 @@ mod tests {
         let exact = PvSource::source_power(&cell, v).watts();
         let fast = PvSource::source_power(&lut, v).watts();
         assert!((fast - exact).abs() <= 1e-3 * exact);
-        assert_eq!(
-            PvSource::source_voc(&lut),
-            PvSource::source_voc(&cell)
-        );
+        assert_eq!(PvSource::source_voc(&lut), PvSource::source_voc(&cell));
     }
 
     #[test]

@@ -253,7 +253,12 @@ mod tests {
         let bright = sweep();
         let dim_cell = SolarCell::kxob22(Irradiance::new(0.3).unwrap());
         let dim = sustainable_frontier(&dim_cell, &sc, &cpu, 64).unwrap();
-        assert!(dim.len() < bright.len(), "dim {} vs bright {}", dim.len(), bright.len());
+        assert!(
+            dim.len() < bright.len(),
+            "dim {} vs bright {}",
+            dim.len(),
+            bright.len()
+        );
         let f_max = |pts: &[FrontierPoint]| {
             pts.iter()
                 .map(|p| p.frequency.to_mega())

@@ -311,13 +311,9 @@ mod tests {
         assert!(cpu.max_frequency(tight.vdd) >= f_at_mep * 3.0 * 0.999);
         assert!(tight.energy_per_cycle >= unconstrained.energy_per_cycle);
         // An impossible floor is infeasible.
-        assert!(system_mep_with_floor(
-            &cpu,
-            &sc,
-            rail(),
-            hems_units::Hertz::from_giga(2.0)
-        )
-        .is_err());
+        assert!(
+            system_mep_with_floor(&cpu, &sc, rail(), hems_units::Hertz::from_giga(2.0)).is_err()
+        );
     }
 
     #[test]

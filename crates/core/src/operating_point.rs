@@ -51,10 +51,7 @@ pub fn unregulated_point(
     let balance = |v: f64| {
         let v = Volts::new(v);
         let p_solar = cell.source_power(v).watts();
-        let p_cpu = cpu
-            .pmax(v)
-            .map(|p| p.watts())
-            .unwrap_or(f64::INFINITY);
+        let p_cpu = cpu.pmax(v).map(|p| p.watts()).unwrap_or(f64::INFINITY);
         p_solar - p_cpu
     };
     if balance(lo.volts()) <= 0.0 {
@@ -121,8 +118,7 @@ mod tests {
     fn lower_light_lowers_the_intersection() {
         let cpu = Microprocessor::paper_65nm();
         let full = unregulated_point(&SolarCell::kxob22(Irradiance::FULL_SUN), &cpu).unwrap();
-        let quarter =
-            unregulated_point(&SolarCell::kxob22(Irradiance::QUARTER_SUN), &cpu).unwrap();
+        let quarter = unregulated_point(&SolarCell::kxob22(Irradiance::QUARTER_SUN), &cpu).unwrap();
         assert!(quarter.vdd < full.vdd);
         assert!(quarter.power < full.power);
         assert!(quarter.frequency < full.frequency);
@@ -147,13 +143,9 @@ mod tests {
         // A cell so strong the core never out-draws it: settles at v_max.
         use hems_pv::SolarCellModel;
         use hems_units::{Amps, Ohms};
-        let model = SolarCellModel::new(
-            Amps::new(2.0),
-            Volts::new(1.5),
-            Volts::new(0.2),
-            Ohms::ZERO,
-        )
-        .unwrap();
+        let model =
+            SolarCellModel::new(Amps::new(2.0), Volts::new(1.5), Volts::new(0.2), Ohms::ZERO)
+                .unwrap();
         let cell = SolarCell::new(model, Irradiance::FULL_SUN);
         let cpu = Microprocessor::paper_65nm();
         let point = unregulated_point(&cell, &cpu).unwrap();

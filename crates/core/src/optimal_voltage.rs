@@ -143,10 +143,7 @@ pub fn optimal_joint_plan(
         let Ok(plan) = plan_at_rail(v_solar, budget, regulator, cpu) else {
             continue;
         };
-        if best
-            .as_ref()
-            .is_none_or(|b| plan.frequency > b.frequency)
-        {
+        if best.as_ref().is_none_or(|b| plan.frequency > b.frequency) {
             best = Some(plan);
         }
     }
@@ -254,12 +251,7 @@ pub fn plan_at_rail(
     // A microvolt on vdd is far below the 0.1% parity contract (and any
     // physical DVFS step); the old 1e-9 tolerance cost ten extra regulator
     // conversions per rail for digits nothing downstream could observe.
-    let v = hems_units::solve::bisect(
-        |v| drawn(v) - p_mpp.watts(),
-        lo.volts(),
-        hi.volts(),
-        1e-6,
-    )?;
+    let v = hems_units::solve::bisect(|v| drawn(v) - p_mpp.watts(), lo.volts(), hi.volts(), 1e-6)?;
     finish(Volts::new(v), 1.0)
 }
 
@@ -333,10 +325,8 @@ mod tests {
     #[test]
     fn buck_sits_between_ldo_and_sc() {
         let (cell, cpu) = setup();
-        let sc_plan =
-            optimal_regulated_plan(&cell, &ScRegulator::paper_65nm(), &cpu).unwrap();
-        let buck_plan =
-            optimal_regulated_plan(&cell, &BuckRegulator::paper_65nm(), &cpu).unwrap();
+        let sc_plan = optimal_regulated_plan(&cell, &ScRegulator::paper_65nm(), &cpu).unwrap();
+        let buck_plan = optimal_regulated_plan(&cell, &BuckRegulator::paper_65nm(), &cpu).unwrap();
         let ldo_plan = optimal_regulated_plan(&cell, &Ldo::paper_65nm(), &cpu).unwrap();
         assert!(sc_plan.frequency > buck_plan.frequency);
         assert!(buck_plan.frequency > ldo_plan.frequency);
@@ -345,7 +335,11 @@ mod tests {
     #[test]
     fn plan_respects_source_budget() {
         let (cell, cpu) = setup();
-        for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::QUARTER_SUN] {
+        for g in [
+            Irradiance::FULL_SUN,
+            Irradiance::HALF_SUN,
+            Irradiance::QUARTER_SUN,
+        ] {
             let cell = SolarCell::kxob22(g);
             let sc = ScRegulator::paper_65nm();
             let plan = optimal_regulated_plan(&cell, &sc, &cpu).unwrap();
@@ -370,7 +364,11 @@ mod tests {
         let cell = SolarCell::kxob22(Irradiance::OVERCAST);
         let ldo = Ldo::paper_65nm();
         let plan = optimal_regulated_plan(&cell, &ldo, &cpu).unwrap();
-        assert!(plan.clock_fraction < 1.0, "fraction {}", plan.clock_fraction);
+        assert!(
+            plan.clock_fraction < 1.0,
+            "fraction {}",
+            plan.clock_fraction
+        );
         assert_eq!(plan.vdd, cpu.v_min());
     }
 
@@ -380,8 +378,7 @@ mod tests {
         // harvest — exactly why Section IV-B bypasses at low light.
         let cpu = Microprocessor::paper_65nm();
         let cell = SolarCell::kxob22(Irradiance::OVERCAST);
-        let err =
-            optimal_regulated_plan(&cell, &ScRegulator::paper_65nm(), &cpu).unwrap_err();
+        let err = optimal_regulated_plan(&cell, &ScRegulator::paper_65nm(), &cpu).unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
     }
 
@@ -429,10 +426,7 @@ mod tests {
         let sc = ScRegulator::paper_65nm();
         let p = Watts::from_milli(5.0);
         let vdd = Volts::new(0.5);
-        let at_mpp = sc
-            .efficiency(Volts::new(0.998), vdd, p)
-            .unwrap()
-            .ratio();
+        let at_mpp = sc.efficiency(Volts::new(0.998), vdd, p).unwrap().ratio();
         let nudged = sc.efficiency(Volts::new(1.01), vdd, p).unwrap().ratio();
         assert!(
             nudged > at_mpp * 1.15,

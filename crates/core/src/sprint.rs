@@ -158,11 +158,8 @@ mod tests {
         let cell = SolarCell::kxob22(Irradiance::QUARTER_SUN);
         let mut cap = Capacitor::paper_board();
         cap.set_voltage(Volts::new(1.2)).unwrap();
-        let plan = SprintPlan::paper_20_percent(
-            Seconds::from_milli(30.0),
-            Watts::from_milli(6.0),
-        )
-        .unwrap();
+        let plan = SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0))
+            .unwrap();
         (cell, cap, plan)
     }
 
@@ -184,12 +181,8 @@ mod tests {
     fn gain_grows_with_beta_then_plateaus() {
         let (cell, cap, _) = fig11_setup();
         let gain_at = |beta: f64| {
-            let plan = SprintPlan::new(
-                beta,
-                Seconds::from_milli(30.0),
-                Watts::from_milli(6.0),
-            )
-            .unwrap();
+            let plan =
+                SprintPlan::new(beta, Seconds::from_milli(30.0), Watts::from_milli(6.0)).unwrap();
             plan.compare_against_constant(&cell, &cap, Seconds::from_micro(20.0))
                 .extra_energy_fraction()
         };
@@ -200,12 +193,7 @@ mod tests {
 
     #[test]
     fn schedules_draw_the_same_total() {
-        let plan = SprintPlan::new(
-            0.3,
-            Seconds::from_milli(20.0),
-            Watts::from_milli(5.0),
-        )
-        .unwrap();
+        let plan = SprintPlan::new(0.3, Seconds::from_milli(20.0), Watts::from_milli(5.0)).unwrap();
         // Integrate drawn power over the schedule.
         let dt = Seconds::from_micro(10.0);
         let steps = (plan.duration.seconds() / dt.seconds()).round() as u64;
@@ -222,18 +210,10 @@ mod tests {
 
     #[test]
     fn drawn_power_switches_at_half_time() {
-        let plan = SprintPlan::new(
-            0.2,
-            Seconds::from_milli(10.0),
-            Watts::from_milli(10.0),
-        )
-        .unwrap();
-        assert!(
-            (plan.drawn_power(Seconds::from_milli(2.0)).to_milli() - 8.0).abs() < 1e-9
-        );
-        assert!(
-            (plan.drawn_power(Seconds::from_milli(7.0)).to_milli() - 12.0).abs() < 1e-9
-        );
+        let plan =
+            SprintPlan::new(0.2, Seconds::from_milli(10.0), Watts::from_milli(10.0)).unwrap();
+        assert!((plan.drawn_power(Seconds::from_milli(2.0)).to_milli() - 8.0).abs() < 1e-9);
+        assert!((plan.drawn_power(Seconds::from_milli(7.0)).to_milli() - 12.0).abs() < 1e-9);
     }
 
     #[test]

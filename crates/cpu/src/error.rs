@@ -36,10 +36,9 @@ impl fmt::Display for CpuError {
                 f,
                 "supply voltage {vdd} V outside operating range [{v_min}, {v_max}] V"
             ),
-            CpuError::FrequencyUnreachable { requested, max } => write!(
-                f,
-                "clock {requested} Hz unreachable (maximum {max} Hz)"
-            ),
+            CpuError::FrequencyUnreachable { requested, max } => {
+                write!(f, "clock {requested} Hz unreachable (maximum {max} Hz)")
+            }
             CpuError::Solver(e) => write!(f, "processor model solver failed: {e}"),
         }
     }

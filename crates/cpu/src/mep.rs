@@ -102,11 +102,7 @@ mod tests {
     fn conventional_mep_sits_near_0_46v() {
         let (f, p) = models();
         let mep = conventional_mep(&f, &p, Volts::new(0.42), Volts::new(1.0)).unwrap();
-        assert!(
-            (mep.vdd.volts() - 0.46).abs() < 0.02,
-            "MEP at {}",
-            mep.vdd
-        );
+        assert!((mep.vdd.volts() - 0.46).abs() < 0.02, "MEP at {}", mep.vdd);
         // ~60 pJ/cycle at the MEP for this calibration.
         assert!(
             mep.energy_per_cycle.value() > 40e-12 && mep.energy_per_cycle.value() < 80e-12,
@@ -134,7 +130,11 @@ mod tests {
         let (f, p) = models();
         let low = energy_breakdown(&f, &p, Volts::new(0.42)).unwrap();
         let high = energy_breakdown(&f, &p, Volts::new(0.9)).unwrap();
-        assert!(low.leakage_fraction() > 0.5, "low {}", low.leakage_fraction());
+        assert!(
+            low.leakage_fraction() > 0.5,
+            "low {}",
+            low.leakage_fraction()
+        );
         assert!(
             high.leakage_fraction() < 0.05,
             "high {}",

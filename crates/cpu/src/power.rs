@@ -72,9 +72,7 @@ impl PowerModel {
             return Watts::ZERO;
         }
         Watts::new(
-            vdd.volts()
-                * self.i_leak0.amps()
-                * (vdd.volts() / self.v_leak_scale.volts()).exp(),
+            vdd.volts() * self.i_leak0.amps() * (vdd.volts() / self.v_leak_scale.volts()).exp(),
         )
     }
 
@@ -116,7 +114,10 @@ mod tests {
         let l2 = p.leakage(Volts::new(0.7));
         // exp(0.2/0.2) = e growth from the exponent, times the linear V term.
         let ratio = l2 / l1;
-        assert!((ratio - (0.7 / 0.5) * 1f64.exp()).abs() < 0.05, "ratio {ratio}");
+        assert!(
+            (ratio - (0.7 / 0.5) * 1f64.exp()).abs() < 0.05,
+            "ratio {ratio}"
+        );
         assert_eq!(p.leakage(Volts::ZERO), Watts::ZERO);
     }
 

@@ -1,6 +1,4 @@
-use crate::{
-    mep, CpuError, EnergyBreakdown, FrequencyModel, MepPoint, OperatingPoint, PowerModel,
-};
+use crate::{mep, CpuError, EnergyBreakdown, FrequencyModel, MepPoint, OperatingPoint, PowerModel};
 use hems_units::{Hertz, Joules, UnitsError, Volts, Watts};
 
 /// The complete microprocessor model: frequency law + power model + an
@@ -297,12 +295,11 @@ mod tests {
     fn constructor_rejects_bad_windows() {
         let f = FrequencyModel::paper_65nm();
         let p = PowerModel::paper_65nm();
-        assert!(Microprocessor::new(f.clone(), p.clone(), Volts::new(0.8), Volts::new(0.5))
-            .is_err());
-        // v_min at/below threshold (0.4 V) is rejected.
         assert!(
-            Microprocessor::new(f, p, Volts::new(0.4), Volts::new(1.0)).is_err()
+            Microprocessor::new(f.clone(), p.clone(), Volts::new(0.8), Volts::new(0.5)).is_err()
         );
+        // v_min at/below threshold (0.4 V) is rejected.
+        assert!(Microprocessor::new(f, p, Volts::new(0.4), Volts::new(1.0)).is_err());
     }
 
     #[test]

@@ -49,8 +49,7 @@ impl CycleCostModel {
     ) -> Cycles {
         let pixels = frame.pixel_count() as f64;
         let dim = extractor.output_dim(frame.width(), frame.height()) as f64;
-        let per_pixel =
-            self.scan_per_pixel + self.gradient_per_pixel + self.histogram_per_pixel;
+        let per_pixel = self.scan_per_pixel + self.gradient_per_pixel + self.histogram_per_pixel;
         Cycles::new(
             pixels * per_pixel
                 + dim * self.classify_per_element * n_classes as f64

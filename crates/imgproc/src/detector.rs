@@ -1,6 +1,4 @@
-use crate::{
-    CycleCostModel, FeatureExtractor, Frame, ImgError, NearestCentroidClassifier, Shape,
-};
+use crate::{CycleCostModel, FeatureExtractor, Frame, ImgError, NearestCentroidClassifier, Shape};
 use hems_units::Cycles;
 
 /// One sliding-window hit.
@@ -240,11 +238,8 @@ mod tests {
     fn constructor_validates() {
         let extractor = FeatureExtractor::paper_default();
         let frame = Frame::synthetic_shape(32, 32, Shape::Disc, 0).unwrap();
-        let classifier = NearestCentroidClassifier::train(&[(
-            0,
-            extractor.extract(&frame).unwrap(),
-        )])
-        .unwrap();
+        let classifier =
+            NearestCentroidClassifier::train(&[(0, extractor.extract(&frame).unwrap())]).unwrap();
         let cost = CycleCostModel::paper_default();
         // Stride 0.
         assert!(WindowDetector::new(extractor, classifier.clone(), cost, 32, 0, 4.0).is_err());

@@ -64,7 +64,9 @@ mod tests {
             got: 100,
         };
         assert!(e.to_string().contains("4096"));
-        let e = ImgError::BadClassifier { reason: "no classes" };
+        let e = ImgError::BadClassifier {
+            reason: "no classes",
+        };
         assert!(e.to_string().contains("no classes"));
     }
 }

@@ -156,8 +156,8 @@ impl FeatureExtractor {
                         let y = cy * self.cell_size + dy;
                         let mag = grad.magnitude(x, y);
                         if mag > 0.0 {
-                            let bin = ((grad.orientation(x, y) / bin_width) as usize)
-                                .min(self.bins - 1);
+                            let bin =
+                                ((grad.orientation(x, y) / bin_width) as usize).min(self.bins - 1);
                             values[base + bin] += mag;
                         }
                     }
@@ -200,10 +200,7 @@ mod tests {
     fn rejects_untileable_frames() {
         let e = FeatureExtractor::paper_default();
         let f = Frame::black(60, 64).unwrap();
-        assert!(matches!(
-            e.extract(&f),
-            Err(ImgError::BadDimensions { .. })
-        ));
+        assert!(matches!(e.extract(&f), Err(ImgError::BadDimensions { .. })));
     }
 
     #[test]

@@ -198,7 +198,10 @@ mod tests {
         assert!(Frame::from_pixels(4, 0, vec![]).is_err());
         assert!(matches!(
             Frame::from_pixels(4, 4, vec![0; 15]),
-            Err(ImgError::BufferMismatch { expected: 16, got: 15 })
+            Err(ImgError::BufferMismatch {
+                expected: 16,
+                got: 15
+            })
         ));
         assert!(Frame::from_pixels(4, 4, vec![0; 16]).is_ok());
         assert!(Frame::synthetic_shape(4, 4, Shape::Disc, 0).is_err());

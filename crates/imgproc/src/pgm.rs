@@ -124,12 +124,17 @@ pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Frame, PgmError> {
             reason: "only 8-bit graymaps (maxval 1-255) are supported",
         });
     }
-    let mut pixels = vec![0u8; width.checked_mul(height).ok_or(PgmError::Format {
-        reason: "image dimensions overflow",
-    })?];
-    reader.read_exact(&mut pixels).map_err(|_| PgmError::Format {
-        reason: "truncated pixel data",
-    })?;
+    let mut pixels = vec![
+        0u8;
+        width.checked_mul(height).ok_or(PgmError::Format {
+            reason: "image dimensions overflow",
+        })?
+    ];
+    reader
+        .read_exact(&mut pixels)
+        .map_err(|_| PgmError::Format {
+            reason: "truncated pixel data",
+        })?;
     if maxval != 255 {
         // Rescale to the full 8-bit range the pipeline expects.
         for p in &mut pixels {

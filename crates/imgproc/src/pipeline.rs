@@ -1,6 +1,4 @@
-use crate::{
-    CycleCostModel, FeatureExtractor, Frame, ImgError, NearestCentroidClassifier, Shape,
-};
+use crate::{CycleCostModel, FeatureExtractor, Frame, ImgError, NearestCentroidClassifier, Shape};
 use hems_units::Cycles;
 
 /// Result of processing one frame.

@@ -27,8 +27,7 @@ impl GradientField {
                         px[((y as isize + dy) as usize) * w + (x as isize + dx) as usize] as f32
                     };
                     // Sobel kernels.
-                    let sx = -at(-1, -1) + at(1, -1) - 2.0 * at(-1, 0) + 2.0 * at(1, 0)
-                        - at(-1, 1)
+                    let sx = -at(-1, -1) + at(1, -1) - 2.0 * at(-1, 0) + 2.0 * at(1, 0) - at(-1, 1)
                         + at(1, 1);
                     let sy = -at(-1, -1) - 2.0 * at(0, -1) - at(1, -1)
                         + at(-1, 1)

@@ -217,8 +217,7 @@ impl IntermittentRuntime {
                 .policy
                 .should_commit(self.tasks_since_commit, v_solar, at_chain_boundary)
             {
-                self.commit_remaining =
-                    Some(self.nvm.commit_cost(self.words_since_commit).count());
+                self.commit_remaining = Some(self.nvm.commit_cost(self.words_since_commit).count());
                 self.commit_spent = 0.0;
             }
         }
@@ -278,8 +277,7 @@ mod tests {
         assert!(report.rollbacks >= 1);
         let max_loss_per_rollback = 200_000.0 + NvmModel::fram().commit_cost(128).count();
         assert!(
-            report.wasted_cycles.count()
-                <= report.rollbacks as f64 * max_loss_per_rollback + 1.0,
+            report.wasted_cycles.count() <= report.rollbacks as f64 * max_loss_per_rollback + 1.0,
             "wasted {} over {} rollbacks",
             report.wasted_cycles.count(),
             report.rollbacks
@@ -328,10 +326,8 @@ mod tests {
         let coarse = run_with(CheckpointPolicy::ChainBoundary);
         // Same useful-work opportunity, fewer commits. Compare overhead per
         // committed iteration to normalize slight progress differences.
-        let fine_rate =
-            fine.checkpoint_cycles.count() / fine.chain_completions.max(1) as f64;
-        let coarse_rate =
-            coarse.checkpoint_cycles.count() / coarse.chain_completions.max(1) as f64;
+        let fine_rate = fine.checkpoint_cycles.count() / fine.chain_completions.max(1) as f64;
+        let coarse_rate = coarse.checkpoint_cycles.count() / coarse.chain_completions.max(1) as f64;
         assert!(
             coarse_rate < fine_rate,
             "coarse {coarse_rate} >= fine {fine_rate}"
@@ -351,11 +347,8 @@ mod tests {
         let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
         let report = runtime.run(&mut sim, &mut ctl, Seconds::from_milli(300.0));
         // Bright, stable node: commits only at chain boundaries.
-        let fine = IntermittentRuntime::new(
-            small_chain(),
-            CheckpointPolicy::EveryTask,
-            NvmModel::fram(),
-        );
+        let fine =
+            IntermittentRuntime::new(small_chain(), CheckpointPolicy::EveryTask, NvmModel::fram());
         drop(fine);
         assert!(report.chain_completions > 0);
         let per_iter = report.checkpoint_cycles.count() / report.chain_completions as f64;

@@ -118,7 +118,11 @@ mod tests {
 
     #[test]
     fn fraction_of_true_voc_lands_near_mpp() {
-        for g in [Irradiance::FULL_SUN, Irradiance::HALF_SUN, Irradiance::QUARTER_SUN] {
+        for g in [
+            Irradiance::FULL_SUN,
+            Irradiance::HALF_SUN,
+            Irradiance::QUARTER_SUN,
+        ] {
             let cell = SolarCell::kxob22(g);
             let mpp = cell.mpp().unwrap();
             let mut t = FractionalVoc::paper_default();

@@ -42,16 +42,16 @@ impl MppLookupTable {
         let mut powers = Vec::with_capacity(n);
         let mut voltages = Vec::with_capacity(n);
         for i in 0..n {
-            let f = g_lo.fraction()
-                + (g_hi.fraction() - g_lo.fraction()) * i as f64 / (n - 1) as f64;
+            let f =
+                g_lo.fraction() + (g_hi.fraction() - g_lo.fraction()) * i as f64 / (n - 1) as f64;
             let g = Irradiance::new(f).map_err(|e| MpptError::TableConstruction {
                 reason: format!("invalid irradiance sample: {e}"),
             })?;
-            let mpp = SolarCell::new(model.clone(), g)
-                .mpp()
-                .map_err(|e| MpptError::TableConstruction {
+            let mpp = SolarCell::new(model.clone(), g).mpp().map_err(|e| {
+                MpptError::TableConstruction {
                     reason: format!("mpp search failed at {g}: {e}"),
-                })?;
+                }
+            })?;
             powers.push(mpp.power.watts());
             voltages.push(mpp.voltage.volts());
         }
@@ -63,11 +63,10 @@ impl MppLookupTable {
         }
         let p_min = Watts::new(powers[0]);
         let p_max = Watts::new(*powers.last().expect("n >= 2"));
-        let table = LinearTable::new(powers, voltages).map_err(|e| {
-            MpptError::TableConstruction {
+        let table =
+            LinearTable::new(powers, voltages).map_err(|e| MpptError::TableConstruction {
                 reason: format!("interpolation table rejected sweep: {e}"),
-            }
-        })?;
+            })?;
         Ok(MppLookupTable {
             table,
             p_min,
@@ -143,9 +142,7 @@ mod tests {
     fn build_validates_inputs() {
         let m = SolarCellModel::kxob22();
         assert!(MppLookupTable::build(&m, Irradiance::INDOOR, Irradiance::FULL_SUN, 1).is_err());
-        assert!(
-            MppLookupTable::build(&m, Irradiance::FULL_SUN, Irradiance::INDOOR, 16).is_err()
-        );
+        assert!(MppLookupTable::build(&m, Irradiance::FULL_SUN, Irradiance::INDOOR, 16).is_err());
         assert!(MppLookupTable::build(&m, Irradiance::DARK, Irradiance::FULL_SUN, 16).is_err());
     }
 

@@ -104,12 +104,7 @@ mod tests {
     use hems_units::{Efficiency, Seconds};
 
     fn observe(cell: &SolarCell, v: Volts, t: f64) -> Observation {
-        let mut obs = Observation::basic(
-            Seconds::new(t),
-            v,
-            Watts::ZERO,
-            Efficiency::UNITY,
-        );
+        let mut obs = Observation::basic(Seconds::new(t), v, Watts::ZERO, Efficiency::UNITY);
         obs.p_solar_measured = Some(cell.power_at(v));
         obs
     }
@@ -193,8 +188,7 @@ mod tests {
     fn constructor_validates() {
         assert!(PerturbObserve::new(Volts::ZERO, Volts::new(0.5), Volts::new(1.0)).is_err());
         assert!(
-            PerturbObserve::new(Volts::from_milli(25.0), Volts::new(1.0), Volts::new(0.5))
-                .is_err()
+            PerturbObserve::new(Volts::from_milli(25.0), Volts::new(1.0), Volts::new(0.5)).is_err()
         );
     }
 

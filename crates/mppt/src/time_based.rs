@@ -192,11 +192,9 @@ mod tests {
         let mut cell = SolarCell::kxob22(Irradiance::FULL_SUN);
         let mut cap = Capacitor::paper_board();
         cap.set_voltage(Volts::new(1.1)).unwrap();
-        let mut bank = ComparatorBank::new(
-            &[Volts::new(1.0), Volts::new(0.9)],
-            Volts::from_milli(2.0),
-        )
-        .unwrap();
+        let mut bank =
+            ComparatorBank::new(&[Volts::new(1.0), Volts::new(0.9)], Volts::from_milli(2.0))
+                .unwrap();
         let mut tracker = TimeBasedTracker::paper_default();
         let p_drawn = Watts::from_milli(p_drawn_mw);
         let dt = Seconds::from_micro(50.0);
@@ -238,9 +236,7 @@ mod tests {
     #[test]
     fn retargets_to_the_new_mpp() {
         let tracker = run_light_step(Irradiance::QUARTER_SUN, 8.0);
-        let new_mpp = SolarCell::kxob22(Irradiance::QUARTER_SUN)
-            .mpp()
-            .unwrap();
+        let new_mpp = SolarCell::kxob22(Irradiance::QUARTER_SUN).mpp().unwrap();
         assert!(
             (tracker.target() - new_mpp.voltage).abs() < Volts::from_milli(60.0),
             "target {} vs new MPP {}",

@@ -93,11 +93,7 @@ impl IvCurve {
     /// An interpolation table mapping voltage to power.
     pub fn to_power_table(&self) -> LinearTable {
         let xs = self.points.iter().map(|p| p.voltage.volts()).collect();
-        let ys = self
-            .points
-            .iter()
-            .map(|p| p.power().watts())
-            .collect();
+        let ys = self.points.iter().map(|p| p.power().watts()).collect();
         LinearTable::new(xs, ys).expect("sampled curve is a valid table")
     }
 }

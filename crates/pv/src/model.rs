@@ -200,12 +200,7 @@ impl SolarCellModel {
             .into());
         }
         let v_mpp_of = |vth: f64| -> Result<f64, PvError> {
-            let model = SolarCellModel::new(
-                i_sc_full,
-                v_oc_full,
-                Volts::new(vth),
-                Ohms::ZERO,
-            )?;
+            let model = SolarCellModel::new(i_sc_full, v_oc_full, Volts::new(vth), Ohms::ZERO)?;
             let (v, _) = solve::maximize(
                 |v| model.power(Volts::new(v), Irradiance::FULL_SUN).watts(),
                 0.0,
@@ -244,13 +239,9 @@ mod tests {
             Ohms::ZERO,
         );
         assert!(ok.is_ok());
-        assert!(SolarCellModel::new(
-            Amps::ZERO,
-            Volts::new(1.5),
-            Volts::new(0.2),
-            Ohms::ZERO
-        )
-        .is_err());
+        assert!(
+            SolarCellModel::new(Amps::ZERO, Volts::new(1.5), Volts::new(0.2), Ohms::ZERO).is_err()
+        );
         assert!(SolarCellModel::new(
             Amps::from_milli(15.0),
             Volts::new(-1.0),
@@ -369,12 +360,8 @@ mod tests {
         let reference = SolarCellModel::kxob22();
         let cell = crate::SolarCell::new(reference.clone(), Irradiance::FULL_SUN);
         let target = cell.mpp().unwrap().voltage;
-        let fitted = SolarCellModel::fit_knee(
-            Amps::from_milli(15.0),
-            Volts::new(1.5),
-            target,
-        )
-        .unwrap();
+        let fitted =
+            SolarCellModel::fit_knee(Amps::from_milli(15.0), Volts::new(1.5), target).unwrap();
         // The fit runs at Rs = 0 while the reference has 1 ohm of series
         // resistance, so the recovered knee differs by a few millivolts.
         assert!(

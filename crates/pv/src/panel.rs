@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn series_scales_voltage_parallel_scales_current() {
-        let array =
-            PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 3, 2).unwrap();
+        let array = PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 3, 2).unwrap();
         assert_eq!(array.series(), 3);
         assert_eq!(array.parallel(), 2);
         let voc = array.open_circuit_voltage();
@@ -146,8 +145,7 @@ mod tests {
 
     #[test]
     fn irradiance_update_propagates() {
-        let mut array =
-            PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 2, 2).unwrap();
+        let mut array = PvArray::new(SolarCellModel::kxob22(), Irradiance::FULL_SUN, 2, 2).unwrap();
         let before = array.power_at(Volts::new(2.0));
         array.set_irradiance(Irradiance::QUARTER_SUN);
         assert_eq!(array.irradiance(), Irradiance::QUARTER_SUN);

@@ -1,6 +1,5 @@
 use crate::{
-    BuckRegulator, Bypass, Conversion, Ldo, Regulator, RegulatorError, RegulatorKind,
-    ScRegulator,
+    BuckRegulator, Bypass, Conversion, Ldo, Regulator, RegulatorError, RegulatorKind, ScRegulator,
 };
 use hems_units::{Volts, Watts};
 

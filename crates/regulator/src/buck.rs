@@ -184,7 +184,9 @@ mod tests {
         let v_in = Volts::new(1.2);
         let v_out = Volts::new(0.55);
         let eta = |r: &dyn Regulator, mw: f64| {
-            r.efficiency(v_in, v_out, Watts::from_milli(mw)).unwrap().ratio()
+            r.efficiency(v_in, v_out, Watts::from_milli(mw))
+                .unwrap()
+                .ratio()
         };
         assert!(eta(&sc, 10.0) > eta(&buck, 10.0), "SC should win at 10 mW");
         assert!(eta(&sc, 3.0) > eta(&buck, 3.0), "SC should win at 3 mW");
@@ -272,7 +274,10 @@ mod tests {
         let (lo, hi) = buck.output_range(Volts::new(0.6));
         assert_eq!(lo, Volts::new(0.3));
         assert!(hi.volts() < 0.6);
-        assert_eq!(buck.output_range(Volts::new(0.2)), (Volts::ZERO, Volts::ZERO));
+        assert_eq!(
+            buck.output_range(Volts::new(0.2)),
+            (Volts::ZERO, Volts::ZERO)
+        );
     }
 
     // Gated: requires the `proptest` feature plus re-adding the

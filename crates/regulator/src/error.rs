@@ -33,12 +33,12 @@ impl fmt::Display for RegulatorError {
                 v_in,
                 v_out,
                 reason,
-            } => write!(
-                f,
-                "{kind} cannot convert {v_in} V -> {v_out} V: {reason}"
-            ),
+            } => write!(f, "{kind} cannot convert {v_in} V -> {v_out} V: {reason}"),
             RegulatorError::InvalidLoad { p_out } => {
-                write!(f, "load power must be finite and non-negative, got {p_out} W")
+                write!(
+                    f,
+                    "load power must be finite and non-negative, got {p_out} W"
+                )
             }
             RegulatorError::BadParameter(e) => write!(f, "invalid regulator parameter: {e}"),
         }

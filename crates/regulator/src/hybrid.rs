@@ -165,10 +165,7 @@ mod tests {
         assert!(lo.volts() <= 0.01);
         assert!(hi.volts() >= 1.1);
         // A dead rail serves nothing.
-        assert_eq!(
-            hybrid.output_range(Volts::ZERO),
-            (Volts::ZERO, Volts::ZERO)
-        );
+        assert_eq!(hybrid.output_range(Volts::ZERO), (Volts::ZERO, Volts::ZERO));
     }
 
     #[test]

@@ -114,7 +114,12 @@ pub trait Regulator {
     /// requested `(v_in, v_out)` pair is outside the topology's capability
     /// (e.g. `v_out >= v_in` for a step-down converter) and
     /// [`RegulatorError::InvalidLoad`] for negative or non-finite loads.
-    fn convert(&self, v_in: Volts, v_out: Volts, p_out: Watts) -> Result<Conversion, RegulatorError>;
+    fn convert(
+        &self,
+        v_in: Volts,
+        v_out: Volts,
+        p_out: Watts,
+    ) -> Result<Conversion, RegulatorError>;
 
     /// The output-voltage range this regulator can serve from rail `v_in`,
     /// as an inclusive `(min, max)` pair. Returns `(0, 0)` when the rail is

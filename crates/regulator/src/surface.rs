@@ -155,6 +155,7 @@ impl EfficiencyGrid {
     ///
     /// Panics if `n_v < 2`, `n_p < 2` or the voltage interval is
     /// inverted.
+    #[allow(clippy::too_many_arguments)] // a lattice spec is eight scalars
     pub fn build(
         regulator: &dyn Regulator,
         v_in: Volts,
@@ -173,10 +174,14 @@ impl EfficiencyGrid {
             });
         }
         let v_step = (v_hi - v_lo) / (n_v - 1) as f64;
-        let v_outs: Vec<f64> = (0..n_v).map(|i| (v_lo + v_step * i as f64).volts()).collect();
+        let v_outs: Vec<f64> = (0..n_v)
+            .map(|i| (v_lo + v_step * i as f64).volts())
+            .collect();
         let ln_lo = p_lo.value().ln();
         let ln_step = (p_hi.value().ln() - ln_lo) / (n_p - 1) as f64;
-        let p_outs: Vec<f64> = (0..n_p).map(|j| (ln_lo + ln_step * j as f64).exp()).collect();
+        let p_outs: Vec<f64> = (0..n_p)
+            .map(|j| (ln_lo + ln_step * j as f64).exp())
+            .collect();
         let columns = v_outs
             .iter()
             .map(|&v_out| {
@@ -279,7 +284,7 @@ impl EfficiencyGrid {
         for (i, col) in self.columns.iter().enumerate() {
             for (j, eta) in col.etas.iter().enumerate() {
                 if let Some(e) = *eta {
-                    if best.map_or(true, |b| e > b.efficiency.expect("set below")) {
+                    if best.is_none_or(|b| e > b.efficiency.expect("set below")) {
                         best = Some(EfficiencyPoint {
                             v_out: Volts::new(self.v_outs[i]),
                             p_out: Watts::new(self.p_outs[j]),
@@ -399,8 +404,12 @@ mod grid_tests {
             8,
         )
         .unwrap();
-        assert!(grid.efficiency(Volts::new(0.1), Watts::from_milli(5.0)).is_none());
-        assert!(grid.efficiency(Volts::new(0.5), Watts::from_milli(5.0)).is_some());
+        assert!(grid
+            .efficiency(Volts::new(0.1), Watts::from_milli(5.0))
+            .is_none());
+        assert!(grid
+            .efficiency(Volts::new(0.5), Watts::from_milli(5.0))
+            .is_some());
         let peak = grid.peak().unwrap();
         assert!(peak.efficiency.unwrap() > 0.5);
     }
@@ -456,11 +465,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sweep.v_in(), Volts::new(1.2));
-        let etas: Vec<f64> = sweep
-            .points()
-            .iter()
-            .filter_map(|p| p.efficiency)
-            .collect();
+        let etas: Vec<f64> = sweep.points().iter().filter_map(|p| p.efficiency).collect();
         assert_eq!(etas.len(), 10);
         assert!(etas.windows(2).all(|w| w[1] > w[0]));
     }
@@ -476,7 +481,11 @@ mod tests {
             19,
         )
         .unwrap();
-        let supported = sweep.points().iter().filter(|p| p.efficiency.is_some()).count();
+        let supported = sweep
+            .points()
+            .iter()
+            .filter(|p| p.efficiency.is_some())
+            .count();
         let unsupported = sweep.points().len() - supported;
         assert!(supported > 0 && unsupported > 0);
         // Everything below 0.3 V and above 0.8 V is None.

@@ -199,10 +199,7 @@ impl Regulator for ScRegulator {
         let eta_lin = v_out / ratio.ideal_output(v_in);
         let i_out = p_out / v_out;
         let droop = Watts::new(i_out.amps() * i_out.amps() * self.r_out.ohms());
-        let p_in = Watts::new(p_out.watts() / eta_lin)
-            + droop
-            + p_out * self.beta
-            + self.p_fixed;
+        let p_in = Watts::new(p_out.watts() / eta_lin) + droop + p_out * self.beta + self.p_fixed;
         let efficiency = if p_in.is_positive() {
             Efficiency::saturating(p_out / p_in)
         } else {

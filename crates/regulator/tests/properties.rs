@@ -4,9 +4,7 @@
 
 //! Property tests over every regulator topology's full operating surface.
 
-use hems_regulator::{
-    AnyRegulator, BuckRegulator, HybridRegulator, Ldo, Regulator, ScRegulator,
-};
+use hems_regulator::{AnyRegulator, BuckRegulator, HybridRegulator, Ldo, Regulator, ScRegulator};
 use hems_units::{Volts, Watts};
 use proptest::prelude::*;
 

@@ -418,7 +418,10 @@ mod tests {
 
     #[test]
     fn controller_names() {
-        assert_eq!(FixedVoltageController::new(Volts::new(0.5)).name(), "fixed-voltage");
+        assert_eq!(
+            FixedVoltageController::new(Volts::new(0.5)).name(),
+            "fixed-voltage"
+        );
         assert_eq!(SleepController.name(), "sleep");
         assert_eq!(DutyCycleController::paper_default().name(), "duty-cycle");
     }

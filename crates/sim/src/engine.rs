@@ -1,6 +1,6 @@
 use crate::{
-    ControlDecision, Controller, EnergyLedger, EventKind, EventLog, Job, JobQueue,
-    LightProfile, PowerPath, Sample, SimError, WaveformRecorder,
+    ControlDecision, Controller, EnergyLedger, EventKind, EventLog, Job, JobQueue, LightProfile,
+    PowerPath, Sample, SimError, WaveformRecorder,
 };
 use hems_cpu::Microprocessor;
 use hems_pv::SolarCell;
@@ -335,10 +335,10 @@ impl Simulation {
                 resolved.frequency = Hertz::ZERO;
                 let p_leak = self.config.cpu.power_model().leakage(resolved.vdd);
                 resolved.p_drawn *= if resolved.p_cpu.is_positive() {
-                        p_leak / resolved.p_cpu
-                    } else {
-                        0.0
-                    };
+                    p_leak / resolved.p_cpu
+                } else {
+                    0.0
+                };
                 resolved.p_cpu = p_leak;
             }
         }
@@ -372,7 +372,8 @@ impl Simulation {
         }
 
         // Bookkeeping: events for power/bypass transitions.
-        let now_powered = !matches!(resolved.effective_path, PowerPath::Sleep) || resolved.asleep_by_choice;
+        let now_powered =
+            !matches!(resolved.effective_path, PowerPath::Sleep) || resolved.asleep_by_choice;
         if self.powered && resolved.browned_out {
             self.events.push(self.now, EventKind::Brownout);
             self.powered = false;
@@ -475,9 +476,7 @@ impl Simulation {
                     return ResolvedStep::browned_out();
                 }
                 let frequency = cpu.max_frequency(vdd) * fraction;
-                let p_cpu = cpu
-                    .power_model()
-                    .total(vdd, frequency);
+                let p_cpu = cpu.power_model().total(vdd, frequency);
                 ResolvedStep {
                     effective_path: PowerPath::Bypass,
                     vdd,
@@ -631,10 +630,16 @@ mod tests {
     #[test]
     fn energy_is_conserved() {
         let mut sim = sim_at(1.1);
-        let e0 = Capacitor::paper_board().capacitance().stored_energy(Volts::new(1.1));
+        let e0 = Capacitor::paper_board()
+            .capacitance()
+            .stored_energy(Volts::new(1.1));
         let mut ctl = FixedVoltageController::new(Volts::new(0.6));
         let summary = sim.run(&mut ctl, Seconds::from_milli(50.0));
-        let e1 = sim.config().capacitor.capacitance().stored_energy(summary.final_v_solar);
+        let e1 = sim
+            .config()
+            .capacitor
+            .capacitance()
+            .stored_energy(summary.final_v_solar);
         let lhs = summary.ledger.harvested + (e0 - e1);
         let rhs = summary.ledger.delivered_to_cpu
             + summary.ledger.regulator_loss
@@ -655,7 +660,12 @@ mod tests {
         let mut ctl = FixedVoltageController::new(Volts::new(0.5));
         let summary = sim.run(&mut ctl, Seconds::from_milli(300.0));
         assert!(summary.brownouts >= 1, "expected at least one brownout");
-        assert!(sim.events().filter(|k| matches!(k, EventKind::Wakeup)).count() >= 1);
+        assert!(
+            sim.events()
+                .filter(|k| matches!(k, EventKind::Wakeup))
+                .count()
+                >= 1
+        );
         assert!(summary.ledger.brownout_time.is_positive());
         // After the light returns the node recovers.
         assert!(summary.final_v_solar > Volts::new(0.45));
@@ -762,8 +772,7 @@ mod tests {
         let a = steady(None);
         let b = steady(Some(DvfsTransition::paper_integrated()));
         assert!(
-            (a.total_cycles.count() - b.total_cycles.count()).abs()
-                < 0.01 * a.total_cycles.count()
+            (a.total_cycles.count() - b.total_cycles.count()).abs() < 0.01 * a.total_cycles.count()
         );
     }
 

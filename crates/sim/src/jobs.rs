@@ -61,9 +61,8 @@ impl JobQueue {
 
     /// Cycles still needed to finish the current job, if any.
     pub fn current_remaining(&self) -> Option<Cycles> {
-        self.current().map(|j| {
-            Cycles::new((j.cycles.count() - self.progress.count()).max(0.0))
-        })
+        self.current()
+            .map(|j| Cycles::new((j.cycles.count() - self.progress.count()).max(0.0)))
     }
 
     /// Total cycles remaining across all queued jobs.

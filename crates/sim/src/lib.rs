@@ -48,8 +48,8 @@ pub mod sweep;
 mod trace;
 
 pub use controller::{
-    Controller, ControlDecision, DutyCycleController, FixedVoltageController,
-    MpptDvfsController, OcSampling, PowerPath, SleepController, SystemView,
+    ControlDecision, Controller, DutyCycleController, FixedVoltageController, MpptDvfsController,
+    OcSampling, PowerPath, SleepController, SystemView,
 };
 pub use engine::{DvfsTransition, Simulation, SimulationSummary, SystemConfig};
 pub use error::SimError;

@@ -152,10 +152,8 @@ impl LightProfile {
                     *to
                 } else {
                     let frac = (t - *start) / (*end - *start);
-                    Irradiance::new(
-                        from.fraction() + (to.fraction() - from.fraction()) * frac,
-                    )
-                    .expect("interpolation of valid levels stays valid")
+                    Irradiance::new(from.fraction() + (to.fraction() - from.fraction()) * frac)
+                        .expect("interpolation of valid levels stays valid")
                 }
             }
             LightProfile::Diurnal { peak, day_length } => {

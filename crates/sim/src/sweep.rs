@@ -173,7 +173,9 @@ impl SweepGrid {
 
     /// Number of scenarios the grid expands to.
     pub fn len(&self) -> usize {
-        self.irradiances.len() * self.capacitances.len() * self.regulators.len()
+        self.irradiances.len()
+            * self.capacitances.len()
+            * self.regulators.len()
             * self.policies.len()
     }
 

@@ -288,9 +288,7 @@ mod tests {
         assert!((c2.leakage_power().to_micro() - 0.025).abs() < 1e-12);
         assert_eq!(cap_at(1.0).leakage_power(), Watts::ZERO);
         assert!(cap_at(1.0).leakage_resistance().is_none());
-        assert!(cap_at(1.0)
-            .with_leakage(hems_units::Ohms::ZERO)
-            .is_err());
+        assert!(cap_at(1.0).with_leakage(hems_units::Ohms::ZERO).is_err());
     }
 
     #[test]

@@ -93,12 +93,8 @@ impl Comparator {
         let new_side = match self.above {
             // Hysteresis: to flip high we must exceed threshold + h/2, to
             // flip low we must fall below threshold - h/2.
-            Some(true) => {
-                input >= self.threshold - half
-            }
-            Some(false) => {
-                input > self.threshold + half
-            }
+            Some(true) => input >= self.threshold - half,
+            Some(false) => input > self.threshold + half,
             None => input > self.threshold,
         };
         let edge = match self.above {
@@ -245,12 +241,8 @@ mod tests {
     #[test]
     fn bank_validates_ordering() {
         assert!(ComparatorBank::new(&[], Volts::ZERO).is_err());
-        assert!(
-            ComparatorBank::new(&[Volts::new(0.9), Volts::new(1.0)], Volts::ZERO).is_err()
-        );
-        assert!(
-            ComparatorBank::new(&[Volts::new(1.0), Volts::new(1.0)], Volts::ZERO).is_err()
-        );
+        assert!(ComparatorBank::new(&[Volts::new(0.9), Volts::new(1.0)], Volts::ZERO).is_err());
+        assert!(ComparatorBank::new(&[Volts::new(1.0), Volts::new(1.0)], Volts::ZERO).is_err());
         assert!(ComparatorBank::new(&[Volts::new(1.0), Volts::new(-0.1)], Volts::ZERO).is_err());
     }
 

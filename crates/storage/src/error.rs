@@ -20,10 +20,9 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::BadParameter(e) => write!(f, "invalid storage parameter: {e}"),
-            StorageError::OverVoltage { requested, rating } => write!(
-                f,
-                "voltage {requested} V exceeds the {rating} V rating"
-            ),
+            StorageError::OverVoltage { requested, rating } => {
+                write!(f, "voltage {requested} V exceeds the {rating} V rating")
+            }
         }
     }
 }

@@ -177,7 +177,9 @@ mod tests {
             .time_to_boot(Watts::from_milli(1.0), Volts::new(1.0))
             .unwrap();
         let mono = Capacitor::new(Farads::from_micro(100.0), Volts::new(1.6)).unwrap();
-        let t_mono = mono.traversal_time(Volts::new(1.0), Watts::from_milli(1.0)).unwrap();
+        let t_mono = mono
+            .traversal_time(Volts::new(1.0), Watts::from_milli(1.0))
+            .unwrap();
         assert!(
             t_mono.seconds() / t_fed.seconds() > 9.0,
             "federated {} vs monolithic {}",

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn solve_error_display() {
-        let e = SolveError::NoSignChange { f_lo: 1.0, f_hi: 2.0 };
+        let e = SolveError::NoSignChange {
+            f_lo: 1.0,
+            f_hi: 2.0,
+        };
         assert!(e.to_string().contains("straddle"));
         let e = SolveError::NoConvergence {
             iterations: 7,

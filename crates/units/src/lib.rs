@@ -36,8 +36,6 @@ pub mod solve;
 
 pub use error::{SolveError, UnitsError};
 pub use interp::{LinearTable, MonotoneTable};
-pub use rng::XorShiftRng;
-pub use quantity::{
-    Amps, Coulombs, Cycles, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts,
-};
+pub use quantity::{Amps, Coulombs, Cycles, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts};
 pub use ratio::Efficiency;
+pub use rng::XorShiftRng;

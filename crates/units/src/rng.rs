@@ -68,7 +68,10 @@ impl XorShiftRng {
     ///
     /// Panics unless `lo < hi` and both are finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 

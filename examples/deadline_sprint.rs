@@ -66,11 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Simulation::new(config, light, Volts::new(1.2))?;
         sim.enqueue(Job::with_deadline(cycles, deadline));
         let summary = sim.run(ctl, Seconds::from_milli(55.0));
-        let met = sim.jobs().missed_deadlines(sim.now()).is_empty()
-            && summary.completed_jobs == 1;
+        let met = sim.jobs().missed_deadlines(sim.now()).is_empty() && summary.completed_jobs == 1;
         println!(
             "{name:>26}: {} | harvested {:6.1} uJ | active {:5.1} ms | brownouts {}",
-            if met { "deadline MET   " } else { "deadline MISSED" },
+            if met {
+                "deadline MET   "
+            } else {
+                "deadline MISSED"
+            },
             summary.ledger.harvested.to_micro(),
             summary.ledger.active_time.to_milli(),
             summary.brownouts

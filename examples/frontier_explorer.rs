@@ -83,10 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..((TARGET_FPS * 2.0) as usize) {
         sim.enqueue(Job::new(cost));
     }
-    let mut ctl = FixedVoltageController::with_clock_fraction(
-        choice.vdd,
-        choice.clock_fraction,
-    );
+    let mut ctl = FixedVoltageController::with_clock_fraction(choice.vdd, choice.clock_fraction);
     let summary = sim.run(&mut ctl, Seconds::new(1.0));
     println!(
         "simulated 1 s: {} detector frames completed (target {TARGET_FPS}), \

@@ -79,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (dark <-> full sun) =="
     );
     println!("\n-- FRAM-backed checkpoints (4 cyc/word) --");
-    run("checkpoint every task", CheckpointPolicy::EveryTask, NvmModel::fram())?;
+    run(
+        "checkpoint every task",
+        CheckpointPolicy::EveryTask,
+        NvmModel::fram(),
+    )?;
     run(
         "checkpoint every 2 tasks",
         CheckpointPolicy::EveryNTasks(2),
@@ -98,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NvmModel::fram(),
     )?;
     println!("\n-- flash-backed checkpoints (200 cyc/word) --");
-    run("checkpoint every task", CheckpointPolicy::EveryTask, NvmModel::flash())?;
+    run(
+        "checkpoint every task",
+        CheckpointPolicy::EveryTask,
+        NvmModel::flash(),
+    )?;
     run(
         "restart whole chain (baseline)",
         CheckpointPolicy::ChainBoundary,

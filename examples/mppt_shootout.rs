@@ -74,11 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     run(
         "time-based (paper)",
-        MpptDvfsController::new(
-            Box::new(TimeBasedTracker::paper_default()),
-            ladder,
-            period,
-        ),
+        MpptDvfsController::new(Box::new(TimeBasedTracker::paper_default()), ladder, period),
     )?;
 
     println!(

@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nwaveform (decimated):");
-    for sample in sim.recorder().expect("recorder enabled").samples().iter().step_by(5) {
+    for sample in sim
+        .recorder()
+        .expect("recorder enabled")
+        .samples()
+        .iter()
+        .step_by(5)
+    {
         println!(
             "  t={:6.1} ms  V_solar={:5.3} V  Vdd={:5.3} V  f={:6.1} MHz",
             sample.t.to_milli(),

@@ -135,10 +135,22 @@ fn cmd_mep(flags: &Flags) -> Result<(), String> {
 fn cmd_headline() -> Result<(), String> {
     let cpu = Microprocessor::paper_65nm();
     let h = analysis::headline_numbers(&cpu).map_err(|e| e.to_string())?;
-    println!("SC power gain vs unregulated : {:+.1}% (paper ~ +31%)", h.sc_power_gain * 100.0);
-    println!("SC speedup vs unregulated    : {:+.1}% (paper ~ +18%)", h.sc_speedup * 100.0);
-    println!("MEP savings (holistic)       : {:.1}%  (paper: up to 31%)", h.mep_savings * 100.0);
-    println!("MEP voltage shift            : {:+.0} mV (paper: up to +100 mV)", h.mep_shift_volts * 1e3);
+    println!(
+        "SC power gain vs unregulated : {:+.1}% (paper ~ +31%)",
+        h.sc_power_gain * 100.0
+    );
+    println!(
+        "SC speedup vs unregulated    : {:+.1}% (paper ~ +18%)",
+        h.sc_speedup * 100.0
+    );
+    println!(
+        "MEP savings (holistic)       : {:.1}%  (paper: up to 31%)",
+        h.mep_savings * 100.0
+    );
+    println!(
+        "MEP voltage shift            : {:+.0} mV (paper: up to +100 mV)",
+        h.mep_shift_volts * 1e3
+    );
     Ok(())
 }
 
@@ -159,23 +171,33 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     }
     let config = SystemConfig::paper_sc_system().map_err(|e| e.to_string())?;
     let light = LightProfile::constant(light_from(flags)?);
-    let mut sim =
-        Simulation::new(config, light, Volts::new(1.0)).map_err(|e| e.to_string())?;
+    let mut sim = Simulation::new(config, light, Volts::new(1.0)).map_err(|e| e.to_string())?;
     if flags.contains_key("csv") {
         sim.enable_recorder(20);
     }
     let mut ctl = HolisticController::paper_default(mode);
     let summary = sim.run(&mut ctl, Seconds::new(duration));
-    println!("harvested    : {:10.1} uJ", summary.ledger.harvested.to_micro());
-    println!("delivered    : {:10.1} uJ", summary.ledger.delivered_to_cpu.to_micro());
-    println!("cycles       : {:10.2} M", summary.total_cycles.count() / 1e6);
-    println!("duty cycle   : {:10.1} %", summary.ledger.duty_cycle() * 100.0);
+    println!(
+        "harvested    : {:10.1} uJ",
+        summary.ledger.harvested.to_micro()
+    );
+    println!(
+        "delivered    : {:10.1} uJ",
+        summary.ledger.delivered_to_cpu.to_micro()
+    );
+    println!(
+        "cycles       : {:10.2} M",
+        summary.total_cycles.count() / 1e6
+    );
+    println!(
+        "duty cycle   : {:10.1} %",
+        summary.ledger.duty_cycle() * 100.0
+    );
     println!("brownouts    : {:10}", summary.brownouts);
     println!("final node   : {:10.3} V", summary.final_v_solar.volts());
     if let Some(path) = flags.get("csv") {
         let recorder = sim.recorder().expect("recorder enabled");
-        let file = std::fs::File::create(path)
-            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         recorder
             .write_csv(std::io::BufWriter::new(file))
             .map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -33,8 +33,16 @@ fn solar_cell_anchor_points() {
     assert!((cell.short_circuit_current().to_milli() - 15.0).abs() < 0.05);
     assert!((cell.open_circuit_voltage().volts() - 1.5).abs() < 0.02);
     let mpp = cell.mpp().expect("full sun has an MPP");
-    assert!((mpp.voltage.volts() - 1.113).abs() < 0.01, "{}", mpp.voltage);
-    assert!((mpp.power.to_milli() - 14.13).abs() < 0.1, "{:?}", mpp.power);
+    assert!(
+        (mpp.voltage.volts() - 1.113).abs() < 0.01,
+        "{}",
+        mpp.voltage
+    );
+    assert!(
+        (mpp.power.to_milli() - 14.13).abs() < 0.1,
+        "{:?}",
+        mpp.power
+    );
 }
 
 #[test]
@@ -69,6 +77,14 @@ fn holistic_anchor_points() {
     assert!((plan.speedup_vs(&baseline) - 1.197).abs() < 0.02);
     // Fig. 7b reproduction values.
     let cmp = mep::compare_meps(&cpu, &sc, Volts::new(1.1)).unwrap();
-    assert!((cmp.holistic.vdd.volts() - 0.519).abs() < 0.005, "{}", cmp.holistic.vdd);
-    assert!((cmp.energy_savings() - 0.258).abs() < 0.02, "{}", cmp.energy_savings());
+    assert!(
+        (cmp.holistic.vdd.volts() - 0.519).abs() < 0.005,
+        "{}",
+        cmp.holistic.vdd
+    );
+    assert!(
+        (cmp.energy_savings() - 0.258).abs() < 0.02,
+        "{}",
+        cmp.energy_savings()
+    );
 }

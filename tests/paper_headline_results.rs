@@ -69,7 +69,11 @@ fn bypass_crossover_sits_near_quarter_sun() {
     )
     .expect("crossover exists");
     let g = policy.crossover().fraction();
-    assert!((0.2..0.6).contains(&g), "crossover at {:.0}% sun", g * 100.0);
+    assert!(
+        (0.2..0.6).contains(&g),
+        "crossover at {:.0}% sun",
+        g * 100.0
+    );
     assert!(policy.should_bypass(Irradiance::QUARTER_SUN));
     assert!(!policy.should_bypass(Irradiance::FULL_SUN));
 }
@@ -99,9 +103,8 @@ fn sprinting_gains_solar_energy_at_20_percent() {
     let dim = SolarCell::kxob22(Irradiance::QUARTER_SUN);
     let mut cap = Capacitor::paper_board();
     cap.set_voltage(Volts::new(1.2)).unwrap();
-    let plan =
-        SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0))
-            .expect("valid plan");
+    let plan = SprintPlan::paper_20_percent(Seconds::from_milli(30.0), Watts::from_milli(6.0))
+        .expect("valid plan");
     let cmp = plan.compare_against_constant(&dim, &cap, Seconds::from_micro(20.0));
     let gain = cmp.extra_energy_fraction();
     assert!(

@@ -35,7 +35,10 @@ fn decision_strategy() -> impl Strategy<Value = ControlDecision> {
             1 => PowerPath::Bypass,
             _ => PowerPath::Sleep,
         };
-        ControlDecision { path, clock_fraction: frac }
+        ControlDecision {
+            path,
+            clock_fraction: frac,
+        }
     })
 }
 

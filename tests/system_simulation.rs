@@ -47,8 +47,7 @@ fn full_day_with_recognition_workload_is_productive() {
     let light = LightProfile::diurnal(Irradiance::FULL_SUN, Seconds::new(4.0));
     let mut sim = Simulation::new(config, light, Volts::new(0.8)).expect("valid sim");
     for i in 0..400u64 {
-        let frame =
-            Frame::synthetic_shape(64, 64, Shape::ALL[(i % 4) as usize], i).expect("frame");
+        let frame = Frame::synthetic_shape(64, 64, Shape::ALL[(i % 4) as usize], i).expect("frame");
         sim.enqueue(Job::new(pipeline.frame_cost(&frame)));
     }
     let mut ctl = HolisticController::paper_default(Mode::MaxPerformance);
@@ -60,7 +59,11 @@ fn full_day_with_recognition_workload_is_productive() {
     );
     // Energy balance: harvested == delivered + losses + storage delta,
     // within integration error.
-    let e0 = sim.config().capacitor.capacitance().stored_energy(Volts::new(0.8));
+    let e0 = sim
+        .config()
+        .capacitor
+        .capacitance()
+        .stored_energy(Volts::new(0.8));
     let e1 = sim
         .config()
         .capacitor
