@@ -139,15 +139,22 @@ fn solver_deviation(cpu: &Microprocessor, cpu_lut: &CpuLut, sc: &ScRegulator) ->
 
 fn main() {
     let mut c = Harness::from_env();
-    let cores = sweep::default_threads();
+    // `resolved_threads(None)` honours an `HEMS_THREADS` override before
+    // falling back to the machine's parallelism, so a pinned CI box can
+    // force the worker count the numbers were taken at.
+    let cores = sweep::resolved_threads(None);
     println!(
-        "[sweep bench] {} hardware threads available{}",
+        "[sweep bench] {} worker threads resolved (HEMS_THREADS {}){}",
         cores,
+        std::env::var(sweep::THREADS_ENV)
+            .map_or_else(|_| "unset".to_string(), |v| format!("= {v}")),
         if c.is_smoke() { " (smoke mode)" } else { "" }
     );
 
     // --- 1. Sweep engine: serial vs parallel over the same grid. ---
     let grid = bench_grid();
+    // The engine clamps workers to the scenario count; report what ran.
+    let workers_actual = cores.clamp(1, grid.len());
     let scenario_count = grid.len();
     let serial = c
         .bench_function("sweep/engine_serial", || {
@@ -217,7 +224,15 @@ fn main() {
     let report = Json::Obj(vec![
         ("schema".into(), Json::Str("hems-bench-sweep/1".into())),
         ("smoke".into(), Json::Bool(c.is_smoke())),
-        ("cores".into(), Json::Int(cores as i64)),
+        ("threads_resolved".into(), Json::Int(cores as i64)),
+        ("workers_actual".into(), Json::Int(workers_actual as i64)),
+        (
+            "threads_env".into(),
+            match std::env::var(sweep::THREADS_ENV) {
+                Ok(v) => Json::Str(v),
+                Err(_) => Json::Str("unset".into()),
+            },
+        ),
         ("scenario_count".into(), Json::Int(scenario_count as i64)),
         (
             "engine".into(),

@@ -29,6 +29,9 @@
 //! * [`eval`] — the [`PvSource`]/[`CpuEval`] abstraction that lets every
 //!   solver above run on either the exact device models or their LUTs
 //!   (`hems_pv::PvLut`, `hems_cpu::CpuLut`) without duplicated code.
+//! * [`cachekey`] — total, stable 64-bit cache keys over system
+//!   configurations and policies, the identity a plan cache (the
+//!   `hems-serve` service) indexes on.
 
 // `!(a < b)` is used deliberately throughout this workspace: unlike
 // `a >= b` it is `true` when either operand is NaN, which is exactly the
@@ -39,6 +42,7 @@
 
 pub mod analysis;
 pub mod bypass;
+pub mod cachekey;
 pub mod controller;
 pub mod deadline;
 mod error;
@@ -50,6 +54,7 @@ pub mod optimal_voltage;
 pub mod sprint;
 
 pub use bypass::BypassPolicy;
+pub use cachekey::{Canonical, KeyHasher};
 pub use controller::{HolisticConfig, HolisticController, Mode};
 pub use deadline::DeadlinePlan;
 pub use error::CoreError;

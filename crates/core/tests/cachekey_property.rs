@@ -1,0 +1,139 @@
+//! Property test: cache-key canonicalization is total and stable.
+//!
+//! Across randomized `SystemConfig`s (vendored xorshift — no new deps):
+//!
+//! * **total** — every generated configuration produces a key without
+//!   panicking;
+//! * **stable** — a cloned (equal) configuration produces the same key;
+//! * **sensitive** — perturbing a single field produces a different key.
+
+use hems_core::cachekey::{config_key, scenario_key};
+use hems_pv::Irradiance;
+use hems_regulator::AnyRegulator;
+use hems_sim::sweep::SweepPolicy;
+use hems_sim::{DvfsTransition, SystemConfig};
+use hems_storage::Capacitor;
+use hems_units::{Farads, Joules, Seconds, Volts, Watts, XorShiftRng};
+
+fn random_config(rng: &mut XorShiftRng) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_sc_system().expect("reference config");
+    cfg.cell
+        .set_irradiance(Irradiance::new(rng.range_f64(0.01, 1.0)).expect("in range"));
+    let c = Farads::from_micro(rng.range_f64(1.0, 500.0));
+    cfg.capacitor = Capacitor::new(c, Volts::new(rng.range_f64(2.0, 6.0))).expect("valid cap");
+    cfg.regulator = {
+        let lineup = AnyRegulator::paper_lineup();
+        let pick = rng.below_u32(lineup.len() as u32) as usize;
+        lineup.into_iter().nth(pick).expect("in range")
+    };
+    let n_thresholds = rng.range_u32(1, 4) as usize;
+    cfg.comparator_thresholds = (0..n_thresholds)
+        .map(|i| Volts::new(1.2 - 0.1 * i as f64 - rng.range_f64(0.0, 0.05)))
+        .collect();
+    cfg.comparator_hysteresis = Volts::from_milli(rng.range_f64(1.0, 30.0));
+    cfg.v_restart = Volts::new(rng.range_f64(0.4, 0.8));
+    cfg.p_standby = Watts::from_micro(rng.range_f64(0.1, 2.0));
+    cfg.dvfs_transition = if rng.below_u32(2) == 0 {
+        None
+    } else {
+        Some(DvfsTransition {
+            latency: Seconds::from_micro(rng.range_f64(1.0, 100.0)),
+            energy: Joules::new(rng.range_f64(1e-9, 1e-6)),
+        })
+    };
+    cfg.dt = Seconds::from_micro(rng.range_f64(10.0, 100.0));
+    cfg
+}
+
+/// Applies one of several single-field perturbations, returning a config
+/// that differs from `cfg` in exactly that field.
+fn perturb(cfg: &SystemConfig, which: u32, rng: &mut XorShiftRng) -> SystemConfig {
+    let mut out = cfg.clone();
+    match which {
+        0 => {
+            let g = cfg.cell.irradiance().fraction();
+            let nudged = if g < 0.5 { g + 0.01 } else { g - 0.01 };
+            out.cell
+                .set_irradiance(Irradiance::new(nudged).expect("in range"));
+        }
+        1 => {
+            let c = Farads::new(cfg.capacitor.capacitance().farads() * 1.5);
+            out.capacitor = Capacitor::new(c, cfg.capacitor.v_rating()).expect("valid cap");
+        }
+        2 => out.v_restart = cfg.v_restart + Volts::from_milli(7.0),
+        3 => out.p_standby = cfg.p_standby * 1.25,
+        4 => out.dt = cfg.dt * 1.5,
+        5 => out.comparator_hysteresis = cfg.comparator_hysteresis + Volts::from_milli(1.0),
+        6 => out
+            .comparator_thresholds
+            .push(Volts::new(rng.range_f64(0.3, 0.4))),
+        _ => {
+            out.dvfs_transition = match cfg.dvfs_transition {
+                None => Some(DvfsTransition::paper_integrated()),
+                Some(_) => None,
+            };
+        }
+    }
+    out
+}
+
+#[test]
+fn keys_are_total_stable_and_field_sensitive() {
+    let mut rng = XorShiftRng::seed_from_u64(0x5eed_cafe);
+    for round in 0..200 {
+        let cfg = random_config(&mut rng);
+        let key = config_key(&cfg);
+        assert_eq!(
+            key,
+            config_key(&cfg.clone()),
+            "round {round}: equal configs must key equal"
+        );
+        let which = rng.below_u32(8);
+        let perturbed = perturb(&cfg, which, &mut rng);
+        assert_ne!(
+            key,
+            config_key(&perturbed),
+            "round {round}: perturbing field {which} must change the key"
+        );
+    }
+}
+
+#[test]
+fn scenario_keys_separate_policy_and_run_settings() {
+    let mut rng = XorShiftRng::seed_from_u64(0xdead_beef);
+    for round in 0..100 {
+        let cfg = random_config(&mut rng);
+        let policy = if rng.below_u32(2) == 0 {
+            SweepPolicy::paper_fixed()
+        } else {
+            SweepPolicy::paper_duty_cycle()
+        };
+        let v0 = Volts::new(rng.range_f64(0.8, 1.4));
+        let t = Seconds::from_milli(rng.range_f64(10.0, 100.0));
+        let key = scenario_key(&cfg, &policy, v0, t);
+        assert_eq!(
+            key,
+            scenario_key(&cfg.clone(), &policy.clone(), v0, t),
+            "round {round}: stability"
+        );
+        assert_ne!(
+            key,
+            scenario_key(&cfg, &policy, v0 + Volts::from_milli(1.0), t),
+            "round {round}: v_initial must reach the key"
+        );
+        assert_ne!(
+            key,
+            scenario_key(&cfg, &policy, v0, t * 2.0),
+            "round {round}: duration must reach the key"
+        );
+        let other = match &policy {
+            SweepPolicy::FixedVoltage { .. } => SweepPolicy::paper_duty_cycle(),
+            SweepPolicy::DutyCycle { .. } => SweepPolicy::paper_fixed(),
+        };
+        assert_ne!(
+            key,
+            scenario_key(&cfg, &other, v0, t),
+            "round {round}: policy must reach the key"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! The `hems-serve` daemon: binds `HEMS_SERVE_ADDR` (default
+//! `127.0.0.1:7878`) and serves plan queries until a wire `shutdown`.
+
+use hems_serve::{serve, ServeConfig};
+
+fn main() {
+    let addr = std::env::var("HEMS_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let mut handle = match serve(addr.as_str(), ServeConfig::default()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("hems-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("hems-serve listening on {}", handle.addr());
+    handle.wait();
+    println!("hems-serve: drained, bye");
+}

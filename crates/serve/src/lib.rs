@@ -1,0 +1,54 @@
+//! `hems-serve`: a batched, cached scenario-planning service.
+//!
+//! The offline story so far answers "what should this node do?" by
+//! rebuilding devices and re-running solvers per question. This crate
+//! turns that into a long-lived service: a TCP endpoint speaking
+//! newline-delimited JSON where a fleet-management client names a
+//! scenario (irradiance, storage capacitance, regulator topology, control
+//! policy, optional deadline) and a query kind — the holistic optimal
+//! operating point, the system MEP, the bypass decision, a sprint plan,
+//! or a full transient-sweep summary — and the server
+//!
+//! 1. canonicalizes the request into a 64-bit cache key
+//!    (`hems_core::cachekey`),
+//! 2. serves repeats from a sharded LRU plan cache ([`cache`]), and
+//! 3. micro-batches concurrent misses across a shared worker pool
+//!    ([`server`], `hems_sim::WorkerPool`), so N clients asking related
+//!    questions cost one fan-out, not N solver runs.
+//!
+//! Admission control keeps the service honest under load: the miss queue
+//! is bounded and a full queue answers `overloaded` instead of queueing
+//! without limit. A `stats` query exposes counters and recent latency
+//! percentiles; `shutdown` drains in-flight batches before stopping.
+//!
+//! Everything is `std`-only — the wire format lives in [`json`] (a small
+//! recursive-descent parser and compact encoder), the protocol in
+//! [`proto`], query execution in [`planner`].
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use hems_serve::{serve, ServeConfig};
+//! let mut handle = serve("127.0.0.1:7878", ServeConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.wait(); // until a wire `shutdown` query
+//! ```
+//!
+//! See `examples/serve_client.rs` at the workspace root for a loopback
+//! client exercising every query kind.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod planner;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use cache::PlanCache;
+pub use json::Value;
+pub use proto::{QueryKind, Request, ScenarioSpec};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use stats::ServeStats;

@@ -1,0 +1,356 @@
+//! Executes plan queries against the paper's solvers.
+//!
+//! One [`PlanJob`] is one cache miss: a fully materialized `(query kind,
+//! SystemConfig, SweepPolicy, spec)` tuple whose [`answer`] runs on the
+//! sim crate's worker pool. Answers are JSON result objects (the `result`
+//! field of an `ok` response); failures are rendered strings (the `error`
+//! field of an `error` response).
+//!
+//! The mapping to the paper:
+//!
+//! | query           | solver                                             |
+//! |-----------------|----------------------------------------------------|
+//! | `optimal_point` | §IV eqs. 1–4 + joint rail/supply refinement        |
+//! | `mep`           | §V eq. 5 system MEP at the cell's MPP rail         |
+//! | `bypass`        | §IV-B crossover calibration + per-level comparison |
+//! | `sprint`        | §VI-B eqs. 12–13 two-phase schedule vs constant    |
+//! | `sweep_summary` | the transient integrator, summarized               |
+//!
+//! Every query runs the *exact* device models — the service's latency
+//! budget is the plan cache, not the LUT fast path, so misses pay the
+//! reference-quality solve and hits are free.
+
+use crate::json::Value;
+use crate::proto::{effective_duration, QueryKind, ScenarioSpec};
+use hems_core::{bypass::BypassPolicy, mep, operating_point, optimal_voltage, sprint::SprintPlan};
+use hems_core::{Canonical, KeyHasher, PvSource};
+use hems_sim::sweep::{run_scenario, Scenario, SweepPolicy};
+use hems_sim::SystemConfig;
+use hems_units::Volts;
+
+/// One cache miss, ready to execute on a worker.
+#[derive(Debug, Clone)]
+pub struct PlanJob {
+    /// The canonical cache key of the request.
+    pub key: u64,
+    /// What is being asked.
+    pub kind: QueryKind,
+    /// The materialized system.
+    pub config: SystemConfig,
+    /// The materialized control policy.
+    pub policy: SweepPolicy,
+    /// The original spec (for run settings the config doesn't carry).
+    pub spec: ScenarioSpec,
+}
+
+impl PlanJob {
+    /// Builds a job from a parsed scenario spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message when the spec cannot be materialized
+    /// (out-of-range light, unrealizable capacitance).
+    pub fn build(kind: QueryKind, spec: ScenarioSpec) -> Result<PlanJob, String> {
+        let (config, policy) = spec.build()?;
+        let key = spec.cache_key(kind, &config, &policy);
+        Ok(PlanJob {
+            key,
+            kind,
+            config,
+            policy,
+            spec,
+        })
+    }
+}
+
+/// Executes one plan job. Infallible queries return `Ok`; infeasible
+/// plans (darkness, unreachable windows) return the solver's message.
+///
+/// # Errors
+///
+/// Returns the rendered solver error for infeasible scenarios.
+pub fn answer(job: &PlanJob) -> Result<Value, String> {
+    match job.kind {
+        QueryKind::OptimalPoint => optimal_point(job),
+        QueryKind::Mep => holistic_mep(job),
+        QueryKind::Bypass => bypass_decision(job),
+        QueryKind::Sprint => sprint_plan(job),
+        QueryKind::SweepSummary => sweep_summary(job),
+        QueryKind::Stats | QueryKind::Shutdown => {
+            Err("service queries are answered inline, not planned".to_string())
+        }
+    }
+}
+
+fn optimal_point(job: &PlanJob) -> Result<Value, String> {
+    let plan = optimal_voltage::optimal_joint_plan(
+        &job.config.cell,
+        &job.config.regulator,
+        &job.config.cpu,
+    )
+    .map_err(|e| e.to_string())?;
+    // The unregulated baseline contextualizes the gain (Fig. 6b's +31 %
+    // power / +18 % speed claim); it can be infeasible where the plan is
+    // not, so it is optional in the answer.
+    let baseline = operating_point::unregulated_point(&job.config.cell, &job.config.cpu).ok();
+    let mut fields = vec![
+        ("v_solar", Value::Num(plan.v_solar.volts())),
+        ("vdd", Value::Num(plan.vdd.volts())),
+        ("frequency_hz", Value::Num(plan.frequency.hertz())),
+        ("p_cpu_w", Value::Num(plan.p_cpu.watts())),
+        ("p_in_w", Value::Num(plan.p_in.watts())),
+        ("efficiency", Value::Num(plan.efficiency.ratio())),
+        ("clock_fraction", Value::Num(plan.clock_fraction)),
+    ];
+    if let Some(u) = baseline {
+        fields.push(("speedup_vs_unregulated", Value::Num(plan.speedup_vs(&u))));
+        fields.push((
+            "power_gain_vs_unregulated",
+            Value::Num(plan.power_gain_vs(&u)),
+        ));
+    }
+    Ok(Value::obj(fields))
+}
+
+fn holistic_mep(job: &PlanJob) -> Result<Value, String> {
+    let mpp = job.config.cell.source_mpp().map_err(|e| e.to_string())?;
+    let m = mep::system_mep(&job.config.cpu, &job.config.regulator, mpp.voltage)
+        .map_err(|e| e.to_string())?;
+    Ok(Value::obj(vec![
+        ("vdd", Value::Num(m.vdd.volts())),
+        (
+            "energy_per_cycle_j",
+            Value::Num(m.energy_per_cycle.joules()),
+        ),
+        ("v_in", Value::Num(m.v_in.volts())),
+    ]))
+}
+
+fn bypass_decision(job: &PlanJob) -> Result<Value, String> {
+    let g = job.config.cell.irradiance();
+    let comparison = BypassPolicy::compare_at(
+        job.config.cell.model(),
+        &job.config.regulator,
+        &job.config.cpu,
+        g,
+    );
+    // The crossover calibration can legitimately fail (bypass never wins
+    // for an efficient-everywhere regulator); the per-level comparison is
+    // still the answer, with the crossover attached when it exists.
+    let policy = BypassPolicy::calibrate(
+        job.config.cell.model(),
+        &job.config.regulator,
+        &job.config.cpu,
+        hems_pv::Irradiance::new(0.02).expect("in range"),
+        hems_pv::Irradiance::FULL_SUN,
+    );
+    let mut fields = vec![
+        ("irradiance", Value::Num(g.fraction())),
+        ("regulated_w", Value::Num(comparison.regulated.watts())),
+        ("bypassed_w", Value::Num(comparison.bypassed.watts())),
+        ("bypass_wins", Value::Bool(comparison.bypass_wins())),
+    ];
+    match policy {
+        Ok(policy) => {
+            fields.push(("crossover", Value::Num(policy.crossover().fraction())));
+            fields.push(("should_bypass", Value::Bool(policy.should_bypass(g))));
+        }
+        Err(_) => {
+            fields.push(("crossover", Value::Null));
+            fields.push(("should_bypass", Value::Bool(comparison.bypass_wins())));
+        }
+    }
+    Ok(Value::obj(fields))
+}
+
+fn sprint_plan(job: &PlanJob) -> Result<Value, String> {
+    let duration = effective_duration(&job.spec);
+    // Nominal draw: what the optimal regulated plan pulls from the node.
+    let plan = optimal_voltage::optimal_joint_plan(
+        &job.config.cell,
+        &job.config.regulator,
+        &job.config.cpu,
+    )
+    .map_err(|e| e.to_string())?;
+    let sprint = SprintPlan::paper_20_percent(duration, plan.p_in).map_err(|e| e.to_string())?;
+    let mut capacitor = job.config.capacitor.clone();
+    capacitor
+        .set_voltage(Volts::new(job.spec.v_initial))
+        .map_err(|e| e.to_string())?;
+    let comparison = sprint.compare_against_constant(&job.config.cell, &capacitor, job.config.dt);
+    Ok(Value::obj(vec![
+        ("beta", Value::Num(sprint.beta)),
+        ("duration_s", Value::Num(sprint.duration.seconds())),
+        ("p_nominal_w", Value::Num(sprint.p_nominal.watts())),
+        (
+            "e_solar_constant_j",
+            Value::Num(comparison.e_solar_constant.joules()),
+        ),
+        (
+            "e_solar_sprint_j",
+            Value::Num(comparison.e_solar_sprint.joules()),
+        ),
+        (
+            "extra_energy_fraction",
+            Value::Num(comparison.extra_energy_fraction()),
+        ),
+        (
+            "v_end_constant",
+            Value::Num(comparison.v_end_constant.volts()),
+        ),
+        ("v_end_sprint", Value::Num(comparison.v_end_sprint.volts())),
+    ]))
+}
+
+fn sweep_summary(job: &PlanJob) -> Result<Value, String> {
+    let scenario = Scenario {
+        index: 0,
+        label: scenario_label(job),
+        config: job.config.clone(),
+        policy: job.policy.clone(),
+        v_initial: Volts::new(job.spec.v_initial),
+        duration: effective_duration(&job.spec),
+    };
+    let result = run_scenario(&scenario);
+    let summary = result.summary?;
+    Ok(Value::obj(vec![
+        ("label", Value::str(result.label)),
+        ("completed_jobs", Value::Num(summary.completed_jobs as f64)),
+        ("brownouts", Value::Num(summary.brownouts as f64)),
+        ("total_cycles", Value::Num(summary.total_cycles.count())),
+        ("final_v_solar", Value::Num(summary.final_v_solar.volts())),
+        ("harvested_j", Value::Num(summary.ledger.harvested.joules())),
+        (
+            "delivered_to_cpu_j",
+            Value::Num(summary.ledger.delivered_to_cpu.joules()),
+        ),
+        (
+            "regulator_loss_j",
+            Value::Num(summary.ledger.regulator_loss.joules()),
+        ),
+        ("duty_cycle", Value::Num(summary.ledger.duty_cycle())),
+        (
+            "mean_delivered_w",
+            Value::Num(summary.ledger.mean_delivered_power().watts()),
+        ),
+    ]))
+}
+
+fn scenario_label(job: &PlanJob) -> String {
+    use hems_regulator::Regulator;
+    format!(
+        "g={} C={} reg={} {}",
+        job.config.cell.irradiance(),
+        job.config.capacitor.capacitance(),
+        job.config.regulator.kind(),
+        job.policy.label()
+    )
+}
+
+/// A self-check that the planner and the cache key agree on identity: two
+/// jobs with the same key must produce byte-identical answers. Exercised
+/// by tests; exported so the bench can spot-check too.
+pub fn keys_agree(a: &PlanJob, b: &PlanJob) -> bool {
+    let mut ha = KeyHasher::new();
+    let mut hb = KeyHasher::new();
+    a.config.canonicalize(&mut ha);
+    b.config.canonicalize(&mut hb);
+    (a.key == b.key) == (ha.finish() == hb.finish() && a.kind == b.kind && a.spec == b.spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(kind: QueryKind, g: f64) -> PlanJob {
+        PlanJob::build(kind, ScenarioSpec::baseline(g)).unwrap()
+    }
+
+    #[test]
+    fn optimal_point_matches_the_direct_solver() {
+        let job = job(QueryKind::OptimalPoint, 1.0);
+        let result = answer(&job).unwrap();
+        let direct = optimal_voltage::optimal_joint_plan(
+            &job.config.cell,
+            &job.config.regulator,
+            &job.config.cpu,
+        )
+        .unwrap();
+        assert_eq!(
+            result.get("vdd").and_then(Value::as_f64),
+            Some(direct.vdd.volts())
+        );
+        assert_eq!(
+            result.get("frequency_hz").and_then(Value::as_f64),
+            Some(direct.frequency.hertz())
+        );
+    }
+
+    #[test]
+    fn mep_sits_inside_the_processor_window() {
+        let result = answer(&job(QueryKind::Mep, 0.5)).unwrap();
+        let vdd = result.get("vdd").and_then(Value::as_f64).unwrap();
+        assert!((0.2..=1.2).contains(&vdd), "vdd = {vdd}");
+        assert!(
+            result
+                .get("energy_per_cycle_j")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn bypass_flips_between_bright_and_dim() {
+        let bright = answer(&job(QueryKind::Bypass, 1.0)).unwrap();
+        assert_eq!(
+            bright.get("should_bypass").and_then(Value::as_bool),
+            Some(false)
+        );
+        let dim = answer(&job(QueryKind::Bypass, 0.1)).unwrap();
+        assert_eq!(
+            dim.get("should_bypass").and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn sprint_answers_with_a_comparison() {
+        let mut spec = ScenarioSpec::baseline(0.25);
+        spec.deadline = Some(0.02);
+        let job = PlanJob::build(QueryKind::Sprint, spec).unwrap();
+        let result = answer(&job).unwrap();
+        assert_eq!(result.get("beta").and_then(Value::as_f64), Some(0.2));
+        assert!(
+            result
+                .get("e_solar_sprint_j")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn sweep_summary_reports_the_transient() {
+        let result = answer(&job(QueryKind::SweepSummary, 1.0)).unwrap();
+        assert!(result.get("harvested_j").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(result.get("total_cycles").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dark_scenarios_answer_with_errors_not_panics() {
+        for kind in [QueryKind::OptimalPoint, QueryKind::Mep, QueryKind::Sprint] {
+            let job = job(kind, 0.0);
+            assert!(answer(&job).is_err(), "{kind:?} in darkness");
+        }
+    }
+
+    #[test]
+    fn equal_jobs_have_equal_keys_and_answers() {
+        let a = job(QueryKind::Mep, 0.5);
+        let b = job(QueryKind::Mep, 0.5);
+        assert_eq!(a.key, b.key);
+        assert!(keys_agree(&a, &b));
+        assert_eq!(answer(&a).unwrap().render(), answer(&b).unwrap().render());
+    }
+}

@@ -1,0 +1,543 @@
+//! The service: TCP acceptor, per-connection readers, and the micro-batcher.
+//!
+//! ## Thread anatomy
+//!
+//! ```text
+//! acceptor ──► reader (one per connection)
+//!                │  parse → stats/shutdown inline
+//!                │  cache hit → respond inline (cached: true)
+//!                │  cache miss → bounded queue ──► batcher ──► worker pool
+//!                │  queue full → overloaded          │  (fan out one batch,
+//!                ▼                                   ▼   in-batch dedup)
+//!              client ◄──────────────── responses written per-pending
+//! ```
+//!
+//! ## Admission control
+//!
+//! The miss queue is bounded ([`ServeConfig::max_queue`]). A full queue
+//! refuses the request with an explicit `overloaded` response instead of
+//! queueing unboundedly — under a compute-bound load the client learns to
+//! back off within one round trip, and accepted requests keep a bounded
+//! latency. Cache hits, `stats`, and errors bypass the queue entirely, so
+//! an overloaded server still answers cheap traffic.
+//!
+//! ## Batching
+//!
+//! The batcher drains up to [`ServeConfig::max_batch`] pending misses at a
+//! time, dedupes them by cache key (concurrent identical misses share one
+//! solve), and fans the distinct jobs out across the sim crate's
+//! [`WorkerPool`]. Results are rendered once, inserted into the cache, and
+//! written to every waiter of that key.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` query (or [`ServerHandle::shutdown`]) flips the accepting
+//! flag, wakes the batcher, and *drains*: every request already accepted
+//! into the queue is answered before the batcher exits and the pool joins.
+//! Requests arriving after the flag see `overloaded` with a "shutting
+//! down" reason.
+
+use crate::cache::PlanCache;
+use crate::planner::{self, PlanJob};
+use crate::proto::{error_response, ok_response, overloaded_response, QueryKind, Request};
+use crate::stats::ServeStats;
+use hems_sim::WorkerPool;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for plan solves (`None` → `HEMS_THREADS` or the
+    /// machine's parallelism, like the sweep engine).
+    pub threads: Option<usize>,
+    /// Total plan-cache entries across shards.
+    pub cache_capacity: usize,
+    /// Bounded miss-queue depth; beyond it requests get `overloaded`.
+    pub max_queue: usize,
+    /// Most misses fanned out in one batch.
+    pub max_batch: usize,
+    /// Longest accepted request line, bytes (DoS guard).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: None,
+            cache_capacity: 1024,
+            max_queue: 256,
+            max_batch: 32,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One accepted cache miss waiting for the batcher.
+struct Pending {
+    id: crate::json::Value,
+    job: PlanJob,
+    conn: Arc<Mutex<TcpStream>>,
+    accepted_at: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    cache: PlanCache,
+    stats: ServeStats,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_ready: Condvar,
+    /// Cleared on shutdown: new work is refused.
+    accepting: AtomicBool,
+    /// Flipped (and broadcast) when the batcher has drained and exited.
+    drained_cv: (Mutex<bool>, Condvar),
+    pool: WorkerPool,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue not poisoned").len()
+    }
+
+    fn begin_shutdown(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        // Wake the batcher even if the queue is empty so it can exit.
+        self.queue_ready.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live service counters (the same snapshot a `stats` query returns).
+    pub fn stats_snapshot(&self) -> crate::json::Value {
+        self.shared.stats.snapshot(
+            self.shared.queue_depth(),
+            self.shared.cache.len(),
+            self.shared.pool.threads(),
+        )
+    }
+
+    /// Initiates graceful shutdown and blocks until in-flight work drains.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (e.g. by a wire `shutdown`
+    /// query).
+    pub fn wait(&mut self) {
+        {
+            let (lock, cv) = &self.shared.drained_cv;
+            let mut drained = lock.lock().expect("drain flag not poisoned");
+            while !*drained {
+                drained = cv.wait(drained).expect("drain flag not poisoned");
+            }
+        }
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+}
+
+/// Binds and starts a server.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let pool = WorkerPool::with_default_threads(config.threads);
+    let shared = Arc::new(Shared {
+        cache: PlanCache::new(config.cache_capacity),
+        stats: ServeStats::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_ready: Condvar::new(),
+        accepting: AtomicBool::new(true),
+        drained_cv: (Mutex::new(false), Condvar::new()),
+        pool,
+        config,
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("hems-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn acceptor")
+    };
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("hems-serve-batch".to_string())
+            .spawn(move || batch_loop(&shared))
+            .expect("spawn batcher")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        batcher: Some(batcher),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Reader threads detach; they exit when their connection closes or
+    // shutdown refuses further work. Nonblocking accept lets the acceptor
+    // poll the shutdown flag without a self-connect trick.
+    while shared.accepting.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One small response line per request: Nagle + delayed ACK
+                // would add ~40 ms to every round trip.
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("hems-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line with a hard size cap. `Ok(None)` = EOF.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                if line.len() >= max_bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "request line exceeds the size cap",
+                    ));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_line(conn: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut stream = conn.lock().expect("connection not poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader, shared.config.max_line_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF
+            Err(_) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &writer,
+                    &error_response(&crate::json::Value::Null, "bad line"),
+                );
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::parse_line(&line) {
+            Ok(request) => request,
+            Err((id, message)) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(&writer, &error_response(&id, &message));
+                continue;
+            }
+        };
+        match request.kind {
+            QueryKind::Stats => {
+                let snapshot = shared.stats.snapshot(
+                    shared.queue_depth(),
+                    shared.cache.len(),
+                    shared.pool.threads(),
+                );
+                write_line(&writer, &ok_response(&request.id, false, snapshot));
+                shared.stats.record_latency_ns(elapsed_ns(started));
+            }
+            QueryKind::Shutdown => {
+                write_line(
+                    &writer,
+                    &ok_response(
+                        &request.id,
+                        false,
+                        crate::json::Value::obj(vec![("draining", crate::json::Value::Bool(true))]),
+                    ),
+                );
+                shared.begin_shutdown();
+                return;
+            }
+            _ => handle_plan_query(shared, &writer, request, started),
+        }
+    }
+}
+
+fn handle_plan_query(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    request: Request,
+    started: Instant,
+) {
+    let spec = request.scenario.expect("plan queries carry a scenario");
+    let job = match PlanJob::build(request.kind, spec) {
+        Ok(job) => job,
+        Err(message) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            write_line(writer, &error_response(&request.id, &message));
+            return;
+        }
+    };
+    if let Some(rendered) = shared.cache.get(job.key) {
+        shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+        write_line(writer, &ok_line(&request.id, true, &rendered));
+        shared.stats.record_latency_ns(elapsed_ns(started));
+        return;
+    }
+    // Admission control: refuse instead of queueing unboundedly. The
+    // accepting flag is checked under the queue lock so shutdown cannot
+    // race an enqueue past the drain.
+    let refused = {
+        let mut queue = shared.queue.lock().expect("queue not poisoned");
+        if !shared.accepting.load(Ordering::SeqCst) {
+            Some("shutting down")
+        } else if queue.len() >= shared.config.max_queue {
+            Some("queue full, back off and retry")
+        } else {
+            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            queue.push_back(Pending {
+                id: request.id.clone(),
+                job,
+                conn: Arc::clone(writer),
+                accepted_at: started,
+            });
+            None
+        }
+    };
+    match refused {
+        Some(reason) => {
+            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            write_line(writer, &overloaded_response(&request.id, reason));
+        }
+        None => shared.queue_ready.notify_one(),
+    }
+}
+
+/// Renders an `ok` response by splicing an already-rendered result —
+/// cache hits and batch fan-out never re-serialize the result object.
+fn ok_line(id: &crate::json::Value, cached: bool, rendered_result: &str) -> String {
+    let mut line = String::with_capacity(rendered_result.len() + 48);
+    line.push_str("{\"id\":");
+    line.push_str(&id.render());
+    line.push_str(",\"status\":\"ok\",\"cached\":");
+    line.push_str(if cached { "true" } else { "false" });
+    line.push_str(",\"result\":");
+    line.push_str(rendered_result);
+    line.push('}');
+    line
+}
+
+fn elapsed_ns(started: Instant) -> f64 {
+    started.elapsed().as_nanos() as f64
+}
+
+fn batch_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut queue = shared.queue.lock().expect("queue not poisoned");
+            loop {
+                if !queue.is_empty() {
+                    let n = queue.len().min(shared.config.max_batch);
+                    break queue.drain(..n).collect();
+                }
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    // Queue empty and no new work can arrive: drained.
+                    drop(queue);
+                    let (lock, cv) = &shared.drained_cv;
+                    *lock.lock().expect("drain flag not poisoned") = true;
+                    cv.notify_all();
+                    return;
+                }
+                queue = shared.queue_ready.wait(queue).expect("queue not poisoned");
+            }
+        };
+
+        // In-batch dedup: waiters grouped per key, one solve per key.
+        let mut waiters: HashMap<u64, Vec<Pending>> = HashMap::new();
+        let mut jobs: Vec<PlanJob> = Vec::new();
+        for pending in batch {
+            let entry = waiters.entry(pending.job.key).or_default();
+            if entry.is_empty() {
+                jobs.push(pending.job.clone());
+            }
+            entry.push(pending);
+        }
+        shared.stats.record_batch(jobs.len());
+
+        let answers = shared.pool.run_jobs(
+            jobs.iter()
+                .cloned()
+                .map(|job| move || (job.key, planner::answer(&job)))
+                .collect::<Vec<_>>(),
+        );
+
+        for (key, answer) in answers {
+            let pendings = waiters.remove(&key).unwrap_or_default();
+            match answer {
+                Ok(result) => {
+                    let rendered = result.render();
+                    shared.cache.insert(key, rendered.clone());
+                    for p in pendings {
+                        write_line(&p.conn, &ok_line(&p.id, false, &rendered));
+                        shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
+                    }
+                }
+                Err(message) => {
+                    // Errors are not cached: a transiently infeasible plan
+                    // (e.g. a race on darkness) should not poison the key.
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    for p in pendings {
+                        write_line(&p.conn, &error_response(&p.id, &message));
+                        shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use crate::proto::ScenarioSpec;
+    use std::io::BufRead;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            threads: Some(2),
+            cache_capacity: 64,
+            max_queue: 64,
+            max_batch: 8,
+            max_line_bytes: 16 * 1024,
+        }
+    }
+
+    fn query_line(stream: &mut TcpStream, line: &str) -> Value {
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        parse(&response).expect("response is JSON")
+    }
+
+    #[test]
+    fn answers_a_plan_query_then_serves_the_repeat_from_cache() {
+        let mut handle = serve("127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let line = Request::render_line(1, QueryKind::Mep, Some(&ScenarioSpec::baseline(0.5)));
+        let first = query_line(&mut stream, &line);
+        assert_eq!(first.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+        let second = query_line(&mut stream, &line);
+        assert_eq!(second.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            first.get("result").map(Value::render),
+            second.get("result").map(Value::render),
+            "cached result is byte-identical"
+        );
+        let stats = handle.stats_snapshot();
+        assert_eq!(stats.get("hits").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(stats.get("misses").and_then(Value::as_f64), Some(1.0));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_the_connection_survives() {
+        let mut handle = serve("127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let bad = query_line(&mut stream, r#"{"id":5,"query":"nope"}"#);
+        assert_eq!(bad.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(bad.get("id").and_then(Value::as_f64), Some(5.0));
+        // Same connection still answers good queries.
+        let ok = query_line(&mut stream, r#"{"id":6,"query":"stats"}"#);
+        assert_eq!(ok.get("status").and_then(Value::as_str), Some("ok"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_unblocks_wait() {
+        let mut handle = serve("127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let bye = query_line(&mut stream, r#"{"id":1,"query":"shutdown"}"#);
+        assert_eq!(bye.get("status").and_then(Value::as_str), Some("ok"));
+        handle.wait(); // must return, not hang
+    }
+}

@@ -1,0 +1,176 @@
+//! Service counters and latency percentiles.
+//!
+//! Counters are lock-free atomics bumped on the request path; latencies
+//! land in a fixed-size ring (last [`LATENCY_WINDOW`] samples) so the
+//! percentile view tracks *recent* behaviour instead of averaging over the
+//! process lifetime. Percentile math reuses `hems_bench::harness` — the
+//! same interpolated-percentile code the offline benches report with, so
+//! the `stats` query and `BENCH_serve.json` are directly comparable.
+
+use crate::json::Value;
+use hems_bench::harness::percentile;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latency samples kept for the percentile window.
+pub const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples_ns: Vec<f64>,
+    next: usize,
+    filled: bool,
+}
+
+/// Counters plus a recent-latency window.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Requests parsed (all kinds, including refused ones).
+    pub requests: AtomicU64,
+    /// Plan-cache hits.
+    pub hits: AtomicU64,
+    /// Plan-cache misses (accepted into the batch queue).
+    pub misses: AtomicU64,
+    /// Requests refused by admission control.
+    pub overloaded: AtomicU64,
+    /// Requests answered with `status: error`.
+    pub errors: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Jobs executed across all batches (after in-batch dedup).
+    pub batched_jobs: AtomicU64,
+    /// Largest batch observed.
+    pub max_batch: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples_ns: Vec::with_capacity(LATENCY_WINDOW),
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+
+    /// Records one batch's size (count + max).
+    pub fn record_batch(&self, jobs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Records one request's service latency (receipt → response write).
+    pub fn record_latency_ns(&self, ns: f64) {
+        let mut ring = self.latencies.lock().expect("latency ring not poisoned");
+        if ring.samples_ns.len() < LATENCY_WINDOW {
+            ring.samples_ns.push(ns);
+        } else {
+            let slot = ring.next;
+            ring.samples_ns[slot] = ns;
+            ring.filled = true;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The recent-latency percentiles `(p50, p95)` in nanoseconds, `None`
+    /// with no samples yet.
+    pub fn latency_percentiles(&self) -> Option<(f64, f64)> {
+        let ring = self.latencies.lock().expect("latency ring not poisoned");
+        if ring.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = ring.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some((percentile(&sorted, 50.0), percentile(&sorted, 95.0)))
+    }
+
+    /// The stats snapshot served to a `stats` query. `queue_depth` and
+    /// `cache_entries` are sampled by the caller (they live outside this
+    /// struct).
+    pub fn snapshot(&self, queue_depth: usize, cache_entries: usize, workers: usize) -> Value {
+        let load = |c: &AtomicU64| Value::Num(c.load(Ordering::Relaxed) as f64);
+        let (p50, p95) = self
+            .latency_percentiles()
+            .map_or((Value::Null, Value::Null), |(p50, p95)| {
+                (Value::Num(p50), Value::Num(p95))
+            });
+        Value::obj(vec![
+            ("requests", load(&self.requests)),
+            ("hits", load(&self.hits)),
+            ("misses", load(&self.misses)),
+            ("overloaded", load(&self.overloaded)),
+            ("errors", load(&self.errors)),
+            ("batches", load(&self.batches)),
+            ("batched_jobs", load(&self.batched_jobs)),
+            ("max_batch", load(&self.max_batch)),
+            ("queue_depth", Value::Num(queue_depth as f64)),
+            ("cache_entries", Value::Num(cache_entries as f64)),
+            ("workers", Value::Num(workers as f64)),
+            ("latency_p50_ns", p50),
+            ("latency_p95_ns", p95),
+        ])
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_recorded_latencies() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.latency_percentiles(), None);
+        for i in 1..=100 {
+            stats.record_latency_ns(i as f64 * 1000.0);
+        }
+        let (p50, p95) = stats.latency_percentiles().unwrap();
+        assert!((p50 - 50_500.0).abs() < 1_000.0, "p50 = {p50}");
+        assert!(p95 > 90_000.0 && p95 <= 100_000.0, "p95 = {p95}");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_the_window() {
+        let stats = ServeStats::new();
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_latency_ns(1.0);
+        }
+        for _ in 0..LATENCY_WINDOW / 2 {
+            stats.record_latency_ns(1_000_000.0);
+        }
+        let (p50, _) = stats.latency_percentiles().unwrap();
+        assert!(p50 > 1.0, "newer samples displaced old ones: p50 = {p50}");
+    }
+
+    #[test]
+    fn snapshot_renders_every_counter() {
+        let stats = ServeStats::new();
+        stats.requests.fetch_add(3, Ordering::Relaxed);
+        stats.record_batch(5);
+        stats.record_latency_ns(42.0);
+        let snap = stats.snapshot(2, 7, 4);
+        assert_eq!(snap.get("requests").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(snap.get("max_batch").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(snap.get("queue_depth").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(snap.get("cache_entries").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(snap.get("workers").and_then(Value::as_f64), Some(4.0));
+        assert!(snap.get("latency_p50_ns").unwrap().as_f64().is_some());
+    }
+}

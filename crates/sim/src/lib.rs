@@ -44,6 +44,7 @@ mod events;
 mod jobs;
 mod ledger;
 mod light;
+pub mod pool;
 pub mod sweep;
 mod trace;
 
@@ -57,4 +58,5 @@ pub use events::{Event, EventKind, EventLog};
 pub use jobs::{Job, JobQueue};
 pub use ledger::EnergyLedger;
 pub use light::LightProfile;
+pub use pool::WorkerPool;
 pub use trace::{Sample, WaveformRecorder};

@@ -1,0 +1,250 @@
+//! A reusable worker pool for batched jobs.
+//!
+//! The sweep engine's scoped-thread fan-out ([`crate::sweep::run_parallel`])
+//! spawns and joins its workers once per call — the right shape for a
+//! one-shot figure sweep, the wrong one for a long-lived service that
+//! submits many small batches: per-batch thread spawn/join costs and
+//! destroys any hope of keeping the workers cache-warm. [`WorkerPool`]
+//! keeps a fixed set of named threads alive behind a shared injector queue
+//! and executes *batches* of jobs against them:
+//!
+//! * [`WorkerPool::run_jobs`] — the generic batch entry: any `FnOnce() -> T`
+//!   jobs, results returned **in submission order** (scatter-by-index, the
+//!   same determinism device the sweep merge uses).
+//! * [`WorkerPool::run_scenarios`] — the sweep-shaped convenience wrapper:
+//!   a scenario batch in, bit-identical-to-serial results out.
+//!
+//! The pool is deliberately simple: one `Mutex<VecDeque>` injector plus a
+//! condvar. Sweep scenarios and planner queries run for micro- to
+//! milliseconds, so queue contention is noise next to the work itself.
+//!
+//! # Blocking and re-entrancy
+//!
+//! `run_jobs` blocks the *calling* thread until the batch completes; the
+//! caller does not steal work. Do not call `run_jobs` from inside a pool
+//! job — with every worker waiting on the inner batch the pool deadlocks.
+
+use crate::sweep::{run_scenario, Scenario, ScenarioResult};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared injector state: a queue of tasks plus a closed flag the drop
+/// handler raises so workers exit.
+struct Injector {
+    queue: Mutex<(VecDeque<Task>, bool)>,
+    available: Condvar,
+}
+
+/// Completion state of one in-flight batch.
+struct Batch<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads executing job batches.
+///
+/// See the module docs for the design; construction spawns the workers,
+/// drop closes the queue and joins them.
+pub struct WorkerPool {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped up to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let injector = Arc::new(Injector {
+            queue: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let injector = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("hems-pool-{i}"))
+                    .spawn(move || loop {
+                        let task = {
+                            let mut guard = injector.queue.lock().expect("injector not poisoned");
+                            loop {
+                                if let Some(task) = guard.0.pop_front() {
+                                    break task;
+                                }
+                                if guard.1 {
+                                    return;
+                                }
+                                guard = injector
+                                    .available
+                                    .wait(guard)
+                                    .expect("injector not poisoned");
+                            }
+                        };
+                        task();
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { injector, workers }
+    }
+
+    /// A pool sized by [`crate::sweep::resolved_threads`]: an explicit
+    /// request, else `HEMS_THREADS`, else the machine's parallelism.
+    pub fn with_default_threads(explicit: Option<usize>) -> WorkerPool {
+        WorkerPool::new(crate::sweep::resolved_threads(explicit))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Executes a batch of jobs on the pool, blocking until all complete,
+    /// and returns their results **in submission order** regardless of
+    /// completion order.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job kills its worker thread; the batch then never
+    /// completes and `run_jobs` panics on the poisoned batch state rather
+    /// than hanging. Jobs are expected not to panic.
+    pub fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            slots: Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        {
+            let mut guard = self.injector.queue.lock().expect("injector not poisoned");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let batch = Arc::clone(&batch);
+                guard.0.push_back(Box::new(move || {
+                    let result = job();
+                    batch.slots.lock().expect("batch not poisoned")[index] = Some(result);
+                    let mut remaining = batch.remaining.lock().expect("batch not poisoned");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        batch.done.notify_all();
+                    }
+                }));
+            }
+        }
+        self.injector.available.notify_all();
+        let mut remaining = batch.remaining.lock().expect("batch not poisoned");
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).expect("batch not poisoned");
+        }
+        drop(remaining);
+        let mut slots = batch.slots.lock().expect("batch not poisoned");
+        std::mem::take(&mut *slots)
+            .into_iter()
+            .map(|slot| slot.expect("every job produced a result"))
+            .collect()
+    }
+
+    /// Runs a scenario batch on the pool; results come back in batch order,
+    /// bit-identical to [`crate::sweep::run_scenarios_serial`] on the same
+    /// list (each scenario owns its state and the scatter is by index).
+    pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+        self.run_jobs(
+            scenarios
+                .into_iter()
+                .map(|s| move || run_scenario(&s))
+                .collect(),
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.injector.queue.lock().expect("injector not poisoned");
+            guard.1 = true;
+        }
+        self.injector.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{self, SweepGrid};
+    use hems_pv::Irradiance;
+    use hems_units::Seconds;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|i: u64| {
+                move || {
+                    // Stagger completion so fast jobs finish out of order.
+                    std::thread::sleep(std::time::Duration::from_micros(64 - i));
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.run_jobs(jobs);
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<u32> = pool.run_jobs(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..5u32 {
+            let results = pool.run_jobs((0..10).map(|i| move || round + i).collect::<Vec<_>>());
+            assert_eq!(results, (0..10).map(|i| round + i).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn scenario_batches_match_the_serial_sweep() {
+        let mut grid = SweepGrid::paper_baseline().unwrap();
+        grid.irradiances = vec![Irradiance::FULL_SUN, Irradiance::QUARTER_SUN];
+        grid.duration = Seconds::from_milli(10.0);
+        let scenarios = grid.scenarios().unwrap();
+        let serial = sweep::run_scenarios_serial(&scenarios);
+        let pool = WorkerPool::new(4);
+        assert_eq!(serial, pool.run_scenarios(scenarios));
+    }
+
+    #[test]
+    fn zero_thread_request_still_works() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run_jobs(vec![|| 7u8]), vec![7]);
+    }
+}

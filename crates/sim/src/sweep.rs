@@ -300,12 +300,6 @@ pub fn run_serial(grid: &SweepGrid) -> Result<Vec<ScenarioResult>, SimError> {
 
 /// Runs the grid across `threads` scoped worker threads.
 ///
-/// Workers pull fixed-size chunks of scenario indices from a shared atomic
-/// cursor (work stealing without a queue structure: the cursor *is* the
-/// queue), buffer `(index, result)` pairs locally, and the merge step
-/// scatters them into the output by index — so the returned `Vec` is
-/// bit-identical to [`run_serial`]'s for any `threads ≥ 1`.
-///
 /// # Errors
 ///
 /// Propagates grid-expansion failures.
@@ -315,11 +309,38 @@ pub fn run_serial(grid: &SweepGrid) -> Result<Vec<ScenarioResult>, SimError> {
 /// Panics if a worker thread panics (a scenario's integrator paniced —
 /// a bug, not a data condition).
 pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResult>, SimError> {
-    let scenarios = grid.scenarios()?;
+    Ok(run_scenarios_parallel(&grid.scenarios()?, threads))
+}
+
+/// Runs an explicit scenario list on the calling thread, in list order.
+///
+/// The batch-entry twin of [`run_serial`] for callers (the sweep service,
+/// custom planners) that assemble scenarios themselves instead of
+/// expanding a [`SweepGrid`].
+pub fn run_scenarios_serial(scenarios: &[Scenario]) -> Vec<ScenarioResult> {
+    scenarios.iter().map(run_scenario).collect()
+}
+
+/// Runs an explicit scenario list across `threads` scoped worker threads —
+/// the batch-entry API behind [`run_parallel`].
+///
+/// Workers pull fixed-size chunks of scenario indices from a shared atomic
+/// cursor (work stealing without a queue structure: the cursor *is* the
+/// queue), buffer `(position, result)` pairs locally, and the merge step
+/// scatters them into the output by position — so the returned `Vec` is
+/// bit-identical to [`run_scenarios_serial`]'s for any `threads ≥ 1`,
+/// including empty lists, single scenarios, and thread counts larger than
+/// the list.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a scenario's integrator paniced —
+/// a bug, not a data condition).
+pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
     let n = scenarios.len();
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
-        return Ok(scenarios.iter().map(run_scenario).collect());
+        return run_scenarios_serial(scenarios);
     }
     // ~4 chunks per worker balances steal granularity against contention.
     let chunk = (n / (threads * 4)).max(1);
@@ -328,7 +349,6 @@ pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResu
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cursor = &cursor;
-                let scenarios = &scenarios;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -336,8 +356,10 @@ pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResu
                         if start >= n {
                             break;
                         }
-                        for scenario in &scenarios[start..(start + chunk).min(n)] {
-                            local.push((scenario.index, run_scenario(scenario)));
+                        for (offset, scenario) in
+                            scenarios[start..(start + chunk).min(n)].iter().enumerate()
+                        {
+                            local.push((start + offset, run_scenario(scenario)));
                         }
                     }
                     local
@@ -350,21 +372,45 @@ pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResu
             .collect()
     });
     let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
-    for (index, result) in buffers.into_iter().flatten() {
-        debug_assert!(slots[index].is_none(), "scenario {index} ran twice");
-        slots[index] = Some(result);
+    for (position, result) in buffers.into_iter().flatten() {
+        debug_assert!(slots[position].is_none(), "scenario {position} ran twice");
+        slots[position] = Some(result);
     }
-    Ok(slots
+    slots
         .into_iter()
-        .map(|s| s.expect("every scenario index produced a result"))
-        .collect())
+        .map(|s| s.expect("every scenario position produced a result"))
+        .collect()
 }
 
-/// The machine's available parallelism (1 when it cannot be queried).
-pub fn default_threads() -> usize {
+/// Environment variable overriding the worker-thread count used when no
+/// explicit count is supplied ([`default_threads`], `threads = None` in
+/// [`resolved_threads`]). Non-numeric or zero values are ignored.
+pub const THREADS_ENV: &str = "HEMS_THREADS";
+
+/// Resolves a worker-thread count: an explicit request wins, then a valid
+/// [`THREADS_ENV`] (`HEMS_THREADS`) override, then the machine's available
+/// parallelism (1 when it cannot be queried). Never returns 0.
+pub fn resolved_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The default worker-thread count: `HEMS_THREADS` when set and valid,
+/// otherwise the machine's available parallelism (1 when it cannot be
+/// queried).
+pub fn default_threads() -> usize {
+    resolved_threads(None)
 }
 
 #[cfg(test)]
@@ -449,5 +495,56 @@ mod tests {
         grid.policies.clear();
         assert!(grid.is_empty());
         assert!(run_parallel(&grid, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_entry_empty_list_returns_empty() {
+        assert!(run_scenarios_serial(&[]).is_empty());
+        for threads in [1, 4, 64] {
+            assert!(run_scenarios_parallel(&[], threads).is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_entry_single_scenario_matches_serial() {
+        let scenarios = small_grid().scenarios().unwrap();
+        let one = &scenarios[..1];
+        let serial = run_scenarios_serial(one);
+        assert_eq!(serial.len(), 1);
+        for threads in [1, 2, 64] {
+            assert_eq!(serial, run_scenarios_parallel(one, threads));
+        }
+    }
+
+    #[test]
+    fn batch_entry_more_threads_than_scenarios_is_bit_identical() {
+        let scenarios = small_grid().scenarios().unwrap();
+        let serial = run_scenarios_serial(&scenarios);
+        // 8 scenarios, up to 64 requested workers: the clamp plus the
+        // scatter-by-position merge must keep results bit-identical.
+        for threads in [scenarios.len() + 1, 4 * scenarios.len(), 64] {
+            assert_eq!(serial, run_scenarios_parallel(&scenarios, threads));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_request_beats_everything() {
+        assert_eq!(resolved_threads(Some(3)), 3);
+        assert_eq!(resolved_threads(Some(0)), 1, "zero is clamped up");
+    }
+
+    #[test]
+    fn env_override_is_honoured_and_validated() {
+        // Serialized in this one test: env mutation is process-global.
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(resolved_threads(None), 5);
+        assert_eq!(default_threads(), 5);
+        assert_eq!(resolved_threads(Some(2)), 2, "explicit request wins");
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(resolved_threads(None) >= 1, "invalid values fall through");
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(resolved_threads(None) >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(resolved_threads(None) >= 1);
     }
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline release build, the full test suite, and a
-# smoke pass of the benchmark harness (one un-warmed call per bench, so
-# every bench target's code path runs and BENCH_sweep.json is written).
+# Tier-1 verification: offline release build, the full test suite, lint
+# gates (rustfmt + clippy with warnings denied), and smoke passes of the
+# benchmark harnesses (one un-warmed call per bench, so every bench
+# target's code path runs and the BENCH_*.json reports are written and
+# well-formed).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -13,7 +15,22 @@ cargo build --release --workspace
 echo "== tier-1: tests =="
 cargo test -q --workspace
 
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
+
+echo "== smoke bench: serve (writes BENCH_serve.json) =="
+HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-serve --bench serve
+
+# The serve bench self-validates its report with the crate's own JSON
+# parser before exiting; double-check the files landed where the docs say.
+for report in BENCH_sweep.json BENCH_serve.json; do
+    [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
+done
 
 echo "verify: OK"
