@@ -89,8 +89,13 @@ impl BypassPolicy {
         g_hi: Irradiance,
     ) -> Result<BypassPolicy, CoreError> {
         let wins_at = |g: f64| {
-            let g = Irradiance::new(g).expect("scan stays in range");
-            Self::compare_at(model, regulator, cpu, g).bypass_wins()
+            // Grid points interpolate between two valid irradiances, so g
+            // is in range; the clamp guards endpoint round-off, and a
+            // (theoretically unreachable) construction failure reads as
+            // "bypass does not win" rather than a panic.
+            Irradiance::new(g.clamp(0.0, 2.0))
+                .map(|g| Self::compare_at(model, regulator, cpu, g).bypass_wins())
+                .unwrap_or(false)
         };
         const GRID: usize = 128;
         let span = g_hi.fraction() - g_lo.fraction();
@@ -117,9 +122,11 @@ impl BypassPolicy {
                 hi = mid;
             }
         }
+        let crossover = Irradiance::new((0.5 * (lo + hi)).clamp(0.0, 2.0))
+            .map_err(|e| CoreError::infeasible("bypass crossover", e.to_string()))?;
         Ok(BypassPolicy {
             model: model.clone(),
-            crossover: Irradiance::new(0.5 * (lo + hi)).expect("refinement stays in range"),
+            crossover,
         })
     }
 

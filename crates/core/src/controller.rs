@@ -82,6 +82,7 @@ impl HolisticConfig {
             // rungs keep the quantized feedback close to the continuous
             // optimum of eqs. 1-4.
             ladder: DvfsLadder::uniform(Volts::new(0.45), Volts::new(1.0), 23)
+                // hems-lint: allow(panic, reason = "fixed paper constants, validated by unit tests")
                 .expect("reference ladder is valid"),
             control_period: Seconds::from_micro(500.0),
             bypass_entry_power: Watts::from_milli(3.0),

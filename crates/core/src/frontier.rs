@@ -145,11 +145,7 @@ pub fn pareto_front(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
             front.push(*p);
         }
     }
-    front.sort_by(|a, b| {
-        a.frequency
-            .partial_cmp(&b.frequency)
-            .expect("finite frequencies")
-    });
+    front.sort_by(|a, b| a.frequency.hertz().total_cmp(&b.frequency.hertz()));
     front
 }
 

@@ -116,7 +116,7 @@ pub fn optimal_joint_plan(
             budget.is_positive().then_some((v_solar, budget))
         })
         .collect();
-    rails.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite powers"));
+    rails.sort_by(|a, b| b.1.watts().total_cmp(&a.1.watts()));
     for (v_solar, budget) in rails {
         // Branch-and-bound: once an incumbent runs at full clock, a rail
         // can only beat it by sustaining full speed at a strictly higher

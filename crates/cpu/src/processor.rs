@@ -198,12 +198,16 @@ impl Microprocessor {
     /// # Panics
     ///
     /// Panics if the operating point has zero frequency.
-    pub fn execution_time(&self, cycles: f64, op: OperatingPoint) -> hems_units::Seconds {
+    pub fn execution_time(
+        &self,
+        cycles: hems_units::Cycles,
+        op: OperatingPoint,
+    ) -> hems_units::Seconds {
         assert!(
             op.frequency.is_positive(),
             "execution time undefined at zero clock"
         );
-        hems_units::Cycles::new(cycles) / op.frequency
+        cycles / op.frequency
     }
 }
 
@@ -219,7 +223,7 @@ mod tests {
         // takes about 15 ms at 0.5 V.
         let cpu = Microprocessor::paper_65nm();
         let op = cpu.max_speed_point(Volts::new(0.5)).unwrap();
-        let t = cpu.execution_time(1.0e6, op);
+        let t = cpu.execution_time(hems_units::Cycles::new(1.0e6), op);
         assert!((t.to_milli() - 15.0).abs() < 0.2, "t = {} ms", t.to_milli());
     }
 
@@ -307,7 +311,7 @@ mod tests {
     fn execution_time_rejects_zero_clock() {
         let cpu = Microprocessor::paper_65nm();
         let _ = cpu.execution_time(
-            1.0,
+            hems_units::Cycles::new(1.0),
             OperatingPoint {
                 vdd: Volts::new(0.5),
                 frequency: Hertz::ZERO,

@@ -1,0 +1,407 @@
+//! A hand-rolled Rust lexer, just deep enough for reliable source scans.
+//!
+//! The rules in this crate are token-level, so the lexer's only job is to
+//! never confuse *code* with *not-code*: string literals (including raw
+//! strings with arbitrary `#` guards and byte strings), char literals
+//! versus lifetime ticks, line comments, and arbitrarily nested block
+//! comments must each become a single opaque token. Everything else is
+//! identifiers, numbers, and one-byte punctuation — enough to recognize
+//! `.unwrap()`, `pub fn` signatures, `#[cfg(test)]` attributes, and
+//! indexing brackets without a full parser.
+//!
+//! The lexer is infallible by construction: malformed input (an
+//! unterminated string, a stray byte) degrades into best-effort tokens
+//! rather than an error, because a lint gate must never crash on the code
+//! it is judging.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `pub`, `fn`, ...).
+    Ident,
+    /// A numeric literal (lexed loosely; never inspected numerically).
+    Number,
+    /// A string literal of any flavor: `"..."`, `r#"..."#`, `b"..."`.
+    Str,
+    /// A char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// A `// ...` comment (doc comments included), text kept verbatim.
+    LineComment,
+    /// A `/* ... */` comment (nesting tracked), text kept verbatim.
+    BlockComment,
+    /// A single punctuation character (`.`, `[`, `#`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The verbatim source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for comment tokens (which rules skip, except the directive
+    /// parser).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails; see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    };
+    lexer.run();
+    lexer.tokens
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn text(&self, start: usize) -> String {
+        self.src.get(start..self.pos).unwrap_or("").to_string()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.text(start);
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    /// Advances over one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.at(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.at(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => {
+                    if !self.raw_or_byte_literal() {
+                        self.ident();
+                    }
+                }
+                b'0'..=b'9' => self.number(),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.at(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.at(0), self.at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: degrade gracefully
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// A `"..."` body with escapes; the opening quote is already current.
+    fn string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump(); // opening quote
+        while let Some(b) = self.at(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump(); // whatever is escaped, even a quote
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#` (any guard depth), `b"..."`, `br#"..."#`,
+    /// and `b'x'`. Returns `false` when the current `r`/`b` starts a plain
+    /// identifier instead (also covering raw identifiers like `r#match`).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let first = self.at(0);
+        let mut offset = 1;
+        if first == Some(b'b') {
+            match self.at(1) {
+                Some(b'\'') => {
+                    // b'x' byte-char literal: skip the `b`, lex as char.
+                    self.bump();
+                    self.char_or_lifetime();
+                    return true;
+                }
+                Some(b'"') => {
+                    // b"..." byte string: skip the `b`, lex as string.
+                    self.bump();
+                    self.string();
+                    return true;
+                }
+                Some(b'r') => offset = 2,
+                _ => return false,
+            }
+        }
+        // At `r` (offset points past it): count `#` guards, expect `"`.
+        let mut hashes = 0usize;
+        while self.at(offset + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.at(offset + hashes) != Some(b'"') {
+            return false; // plain identifier (or raw identifier)
+        }
+        let (start, line) = (self.pos, self.line);
+        for _ in 0..(offset + hashes + 1) {
+            self.bump(); // prefix, guards, opening quote
+        }
+        // Body runs until `"` followed by `hashes` guards.
+        'body: while let Some(b) = self.at(0) {
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.at(1 + i) != Some(b'#') {
+                        self.bump();
+                        continue 'body;
+                    }
+                }
+                for _ in 0..(hashes + 1) {
+                    self.bump(); // closing quote and guards
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Str, start, line);
+        true
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` / `'static` (lifetime/label):
+    /// a tick starts a lifetime when an identifier char follows and the
+    /// char after that one is not a closing tick.
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let lifetime = match (self.at(1), self.at(2)) {
+            (Some(next), after) => is_ident(next) && after != Some(b'\''),
+            _ => false,
+        };
+        if lifetime {
+            self.bump(); // tick
+            while let Some(b) = self.at(0) {
+                if !is_ident(b) {
+                    break;
+                }
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line);
+            return;
+        }
+        // Char literal: consume to the closing tick, escapes skipped.
+        self.bump(); // opening tick
+        while let Some(b) = self.at(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.at(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                // A dot continues the number only before a digit, so
+                // ranges (`0..n`) and method calls (`1.max(x)`) end it.
+                || (b == b'.' && self.at(1).is_some_and(|n| n.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.at(0) {
+            if !(b.is_ascii_alphanumeric() || b == b'_') {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        // Advance one whole UTF-8 scalar so multibyte text in odd places
+        // (e.g. an identifier-adjacent `µ`) cannot split a char boundary.
+        let width = self
+            .src
+            .get(self.pos..)
+            .and_then(|rest| rest.chars().next())
+            .map_or(1, char::len_utf8);
+        for _ in 0..width {
+            self.bump();
+        }
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_the_token_stream() {
+        let toks = kinds(r##"let s = r#"x.unwrap() /* not code */"#;"##);
+        let strings: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strings.len(), 1);
+        assert!(strings[0].1.contains("unwrap"));
+        // No `unwrap` identifier leaked out of the raw string.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_swallow_code() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        // The static lifetime and escaped chars too.
+        let toks = kinds(r"let c: &'static str = x; let q = '\'';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == r"'\''"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let toks = kinds(r#"let a = b"unwrap"; let c = b'\n';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_stop_before_range_dots_and_method_calls() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; let y = 2.max(3); }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"two\nlines\"\nb");
+        let a = toks.iter().find(|t| t.text == "a").map(|t| t.line);
+        let b = toks.iter().find(|t| t.text == "b").map(|t| t.line);
+        assert_eq!(a, Some(1));
+        assert_eq!(b, Some(4));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        for src in ["\"open", "/* open /* deeper", "'", "r#\"open"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,740 @@
+//! The four rule families.
+//!
+//! 1. **panic-freedom** (`panic`, `index`) — no `unwrap`/`expect`/
+//!    `panic!`/`unreachable!`/`todo!`/`unimplemented!` and no direct
+//!    (non-range) indexing in non-test code of the service-plane paths.
+//! 2. **unit discipline** (`units`) — no raw `f64`/`f32` in `pub fn`
+//!    signatures of the physics crates outside the checked-in allowlist.
+//! 3. **determinism** (`timing`) — no `Instant`, `SystemTime`,
+//!    `thread::sleep`, or environment reads inside solver/sim code
+//!    outside the timing allowlist.
+//! 4. **crate hygiene** (`hygiene`) — crate roots carry
+//!    `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`, and every
+//!    public `*Error` type implements `Display` and `std::error::Error`.
+//!
+//! All checks run on the token stream of a [`SourceFile`]; test regions
+//! are exempt everywhere, and inline `// hems-lint: allow(...)`
+//! directives (reason required) suppress single findings in place.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::source::{next_significant, prev_significant, SourceFile};
+use std::collections::HashSet;
+
+/// Allowlists for the `units` and `timing` rules.
+#[derive(Debug, Default)]
+pub struct RuleConfig {
+    /// `units` exemptions, keyed `path::fn_name`.
+    pub units_allow: HashSet<String>,
+    /// `timing` exemptions, keyed `path::ident` (or a bare `path` to
+    /// exempt a whole file).
+    pub timing_allow: HashSet<String>,
+}
+
+impl RuleConfig {
+    /// Parses one allowlist file's text: one key per line, `#` comments
+    /// and blank lines ignored.
+    pub fn parse_allowlist(text: &str) -> HashSet<String> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Service-plane paths held to panic-freedom: the serve crate, the sim
+/// crate's pool/sweep/engine, the core solvers — and this lint crate,
+/// which checks itself.
+pub fn panic_rule_applies(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/lint/src/")
+        || matches!(
+            rel,
+            "crates/sim/src/pool.rs" | "crates/sim/src/sweep.rs" | "crates/sim/src/engine.rs"
+        )
+}
+
+/// Physics crates held to unit discipline in `pub fn` signatures.
+pub fn units_rule_applies(rel: &str) -> bool {
+    ["pv", "regulator", "cpu", "storage", "mppt", "core"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Deterministic solver/sim paths held to the timing rule. The serve
+/// crate is exempt by design: its stats/latency layer measures wall
+/// time on purpose.
+pub fn timing_rule_applies(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") || rel.starts_with("crates/sim/src/")
+}
+
+/// `true` for crate-root files that must carry the hygiene attributes.
+pub fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// The per-crate aggregation key (`crates/<name>` or `src`).
+pub fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        _ => "src".to_string(),
+    }
+}
+
+/// Per-file facts the cross-file error-type check aggregates per crate.
+#[derive(Debug, Default)]
+pub struct ErrorTypeFacts {
+    /// `pub struct`/`pub enum` types named `*Error`: `(name, line)`.
+    pub declared: Vec<(String, u32)>,
+    /// Type names with an `impl ... Display for <name>`.
+    pub display_for: Vec<String>,
+    /// Type names with an `impl ... Error for <name>`.
+    pub error_for: Vec<String>,
+}
+
+/// Runs every applicable per-file rule; returns findings plus the
+/// error-type facts for the cross-file hygiene pass.
+pub fn check_file(file: &SourceFile, cfg: &RuleConfig) -> (Vec<Finding>, ErrorTypeFacts) {
+    let mut findings = Vec::new();
+    findings.extend(file.directive_findings.iter().cloned());
+    if panic_rule_applies(&file.rel_path) {
+        scan_panic_freedom(file, &mut findings);
+    }
+    if units_rule_applies(&file.rel_path) {
+        scan_units(file, cfg, &mut findings);
+    }
+    if timing_rule_applies(&file.rel_path) {
+        scan_timing(file, cfg, &mut findings);
+    }
+    if is_crate_root(&file.rel_path) {
+        scan_root_attributes(file, &mut findings);
+    }
+    let facts = collect_error_type_facts(file);
+    (findings, facts)
+}
+
+/// Reconciles per-crate error-type facts into hygiene findings.
+pub fn reconcile_error_types(facts_per_file: &[(String, ErrorTypeFacts)]) -> Vec<Finding> {
+    use std::collections::HashMap;
+    #[derive(Default)]
+    struct CrateFacts {
+        declared: Vec<(String, String, u32)>, // (type, file, line)
+        display_for: HashSet<String>,
+        error_for: HashSet<String>,
+    }
+    let mut by_crate: HashMap<String, CrateFacts> = HashMap::new();
+    for (rel, facts) in facts_per_file {
+        let entry = by_crate.entry(crate_key(rel)).or_default();
+        for (name, line) in &facts.declared {
+            entry.declared.push((name.clone(), rel.clone(), *line));
+        }
+        entry.display_for.extend(facts.display_for.iter().cloned());
+        entry.error_for.extend(facts.error_for.iter().cloned());
+    }
+    let mut findings = Vec::new();
+    for facts in by_crate.into_values() {
+        for (name, rel, line) in facts.declared {
+            let mut missing = Vec::new();
+            if !facts.display_for.contains(&name) {
+                missing.push("Display");
+            }
+            if !facts.error_for.contains(&name) {
+                missing.push("std::error::Error");
+            }
+            if !missing.is_empty() {
+                findings.push(Finding::new(
+                    "hygiene",
+                    rel,
+                    line,
+                    format!(
+                        "public error type `{name}` does not implement {}",
+                        missing.join(" + ")
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+fn push_unless_allowed(file: &SourceFile, findings: &mut Vec<Finding>, finding: Finding) {
+    if !file.allowed(&finding.rule, finding.line) {
+        findings.push(finding);
+    }
+}
+
+/// Identifiers that may directly precede `[` without forming an index
+/// expression (`return [..]`, `match [..]`, ...).
+const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "return", "break", "continue", "in", "if", "else", "match", "loop", "while", "for", "let",
+    "mut", "ref", "move", "const", "static", "as", "dyn",
+];
+
+fn scan_panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_comment() || file.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match (token.kind, token.text.as_str()) {
+            (TokenKind::Ident, name @ ("unwrap" | "expect")) => {
+                let after_dot = prev_significant(tokens, i)
+                    .is_some_and(|(_, p)| p.kind == TokenKind::Punct && p.text == ".");
+                if after_dot {
+                    push_unless_allowed(
+                        file,
+                        findings,
+                        Finding::new(
+                            "panic",
+                            &file.rel_path,
+                            token.line,
+                            format!("call to `.{name}()` outside tests"),
+                        ),
+                    );
+                }
+            }
+            (TokenKind::Ident, name @ ("panic" | "unreachable" | "todo" | "unimplemented")) => {
+                let is_macro = next_significant(tokens, i + 1)
+                    .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == "!");
+                if is_macro {
+                    push_unless_allowed(
+                        file,
+                        findings,
+                        Finding::new(
+                            "panic",
+                            &file.rel_path,
+                            token.line,
+                            format!("`{name}!` outside tests"),
+                        ),
+                    );
+                }
+            }
+            (TokenKind::Punct, "[") => {
+                if let Some(target) = index_expression_target(tokens, i) {
+                    push_unless_allowed(
+                        file,
+                        findings,
+                        Finding::new(
+                            "index",
+                            &file.rel_path,
+                            token.line,
+                            format!("direct index into `{target}` may panic; use `.get()`"),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Decides whether the `[` at `open` begins a non-range index expression;
+/// returns the indexed expression's trailing token text when it does.
+fn index_expression_target(tokens: &[Token], open: usize) -> Option<String> {
+    let (_, prev) = prev_significant(tokens, open)?;
+    let target = match (prev.kind, prev.text.as_str()) {
+        (TokenKind::Ident, name) if !NON_INDEX_KEYWORDS.contains(&name) => name.to_string(),
+        (TokenKind::Punct, ")" | "]") => "the preceding expression".to_string(),
+        _ => return None,
+    };
+    // Scan the bracket group; `..` anywhere inside (two adjacent dots)
+    // marks a range slice, which the rule deliberately does not flag.
+    let mut depth = 0usize;
+    let mut i = open;
+    let mut last_was_dot = false;
+    while let Some(token) = tokens.get(i) {
+        if token.is_comment() {
+            i += 1;
+            continue;
+        }
+        match (token.kind, token.text.as_str()) {
+            (TokenKind::Punct, "[") => {
+                depth += 1;
+                last_was_dot = false;
+            }
+            (TokenKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(target);
+                }
+                last_was_dot = false;
+            }
+            (TokenKind::Punct, ".") => {
+                if last_was_dot {
+                    return None; // range expression inside the brackets
+                }
+                last_was_dot = true;
+            }
+            _ => last_was_dot = false,
+        }
+        i += 1;
+    }
+    None // unterminated; do not guess
+}
+
+fn scan_units(file: &SourceFile, cfg: &RuleConfig, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while let Some(token) = tokens.get(i) {
+        let in_test = file.in_test.get(i).copied().unwrap_or(false);
+        if token.is_comment() || in_test || !(token.kind == TokenKind::Ident && token.text == "pub")
+        {
+            i += 1;
+            continue;
+        }
+        let Some((name, name_line, sig_end)) = parse_pub_fn(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let raw_float = tokens
+            .get(i..sig_end)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|t| !t.is_comment())
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "f64" || t.text == "f32"));
+        if raw_float {
+            let key = format!("{}::{}", file.rel_path, name);
+            if !cfg.units_allow.contains(&key) {
+                push_unless_allowed(
+                    file,
+                    findings,
+                    Finding::new(
+                        "units",
+                        &file.rel_path,
+                        name_line,
+                        format!(
+                            "pub fn `{name}` exposes raw f64/f32 in its signature; \
+                             use a hems_units quantity or allowlist `{key}`"
+                        ),
+                    ),
+                );
+            }
+        }
+        i = sig_end;
+    }
+}
+
+/// Parses a `pub [(...)]? [const|async]* fn name(...) -> ...` head
+/// starting at the `pub` token. Returns `(name, name_line, signature_end)`
+/// where `signature_end` indexes the body `{` / terminating `;`.
+fn parse_pub_fn(tokens: &[Token], pub_index: usize) -> Option<(String, u32, usize)> {
+    let (mut i, mut token) = next_significant(tokens, pub_index + 1)?;
+    // pub(crate) / pub(in path)
+    if token.kind == TokenKind::Punct && token.text == "(" {
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(i) {
+            if t.kind == TokenKind::Punct && t.text == "(" {
+                depth += 1;
+            }
+            if t.kind == TokenKind::Punct && t.text == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        (i, token) = next_significant(tokens, i + 1)?;
+    }
+    while token.kind == TokenKind::Ident && matches!(token.text.as_str(), "const" | "async") {
+        (i, token) = next_significant(tokens, i + 1)?;
+    }
+    if !(token.kind == TokenKind::Ident && token.text == "fn") {
+        return None;
+    }
+    let (name_index, name_token) = next_significant(tokens, i + 1)?;
+    if name_token.kind != TokenKind::Ident {
+        return None;
+    }
+    // The signature runs to the body `{` or the `;` of a bodiless decl,
+    // skipping brace-free generics/params along the way.
+    let mut j = name_index + 1;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokenKind::Punct && (t.text == "{" || t.text == ";") {
+            return Some((name_token.text.clone(), name_token.line, j));
+        }
+        j += 1;
+    }
+    None
+}
+
+fn scan_timing(file: &SourceFile, cfg: &RuleConfig, findings: &mut Vec<Finding>) {
+    if cfg.timing_allow.contains(&file.rel_path) {
+        return; // whole-file exemption
+    }
+    let tokens = &file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_comment()
+            || file.in_test.get(i).copied().unwrap_or(false)
+            || token.kind != TokenKind::Ident
+        {
+            continue;
+        }
+        let what = match token.text.as_str() {
+            "Instant" | "SystemTime" => Some(format!("`{}` (wall-clock time)", token.text)),
+            // Only the path form `thread::sleep` — plain `sleep` idents
+            // are domain vocabulary here (processor sleep states).
+            "sleep" if is_path_call(tokens, i, "thread") => {
+                Some("`thread::sleep` (wall-clock delay)".to_string())
+            }
+            "var" | "var_os" | "vars" if is_path_call(tokens, i, "env") => {
+                Some(format!("`env::{}` (environment read)", token.text))
+            }
+            _ => None,
+        };
+        let Some(what) = what else { continue };
+        let key = format!("{}::{}", file.rel_path, token.text);
+        if cfg.timing_allow.contains(&key) {
+            continue;
+        }
+        push_unless_allowed(
+            file,
+            findings,
+            Finding::new(
+                "timing",
+                &file.rel_path,
+                token.line,
+                format!(
+                    "{what} in deterministic solver/sim code; \
+                     inject it from the caller or allowlist `{key}`"
+                ),
+            ),
+        );
+    }
+}
+
+/// `true` when the ident at `i` is preceded by `<prefix>::` (path call).
+fn is_path_call(tokens: &[Token], i: usize, prefix: &str) -> bool {
+    let Some((c1, colon1)) = prev_significant(tokens, i) else {
+        return false;
+    };
+    let Some((c2, colon2)) = prev_significant(tokens, c1) else {
+        return false;
+    };
+    let Some((_, head)) = prev_significant(tokens, c2) else {
+        return false;
+    };
+    colon1.kind == TokenKind::Punct
+        && colon1.text == ":"
+        && colon2.kind == TokenKind::Punct
+        && colon2.text == ":"
+        && head.kind == TokenKind::Ident
+        && head.text == prefix
+}
+
+/// Checks a crate root for `#![forbid(unsafe_code)]` and
+/// `#![warn(missing_docs)]` (deny/forbid also accepted for the latter).
+fn scan_root_attributes(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut has_forbid_unsafe = false;
+    let mut has_missing_docs = false;
+    let mut i = 0;
+    while let Some(token) = tokens.get(i) {
+        let is_inner_attr = token.kind == TokenKind::Punct
+            && token.text == "#"
+            && next_significant(tokens, i + 1)
+                .is_some_and(|(_, t)| t.kind == TokenKind::Punct && t.text == "!");
+        if !is_inner_attr {
+            i += 1;
+            continue;
+        }
+        // Collect idents to the attribute's closing `]`.
+        let mut idents: Vec<&str> = Vec::new();
+        let mut depth = 0usize;
+        let mut j = i;
+        while let Some(t) = tokens.get(j) {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokenKind::Ident, name) => idents.push(name),
+                _ => {}
+            }
+            j += 1;
+        }
+        let level = |l: &str| idents.first() == Some(&l);
+        if (level("forbid") || level("deny")) && idents.contains(&"unsafe_code") {
+            has_forbid_unsafe = true;
+        }
+        if (level("warn") || level("deny") || level("forbid")) && idents.contains(&"missing_docs") {
+            has_missing_docs = true;
+        }
+        i = j + 1;
+    }
+    if !has_forbid_unsafe {
+        findings.push(Finding::new(
+            "hygiene",
+            &file.rel_path,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+    if !has_missing_docs {
+        findings.push(Finding::new(
+            "hygiene",
+            &file.rel_path,
+            1,
+            "crate root is missing `#![warn(missing_docs)]`",
+        ));
+    }
+}
+
+/// Collects `pub struct/enum *Error` declarations and `Display`/`Error`
+/// impl targets from one file (non-test code only).
+fn collect_error_type_facts(file: &SourceFile) -> ErrorTypeFacts {
+    let tokens = &file.tokens;
+    let mut facts = ErrorTypeFacts::default();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_comment()
+            || file.in_test.get(i).copied().unwrap_or(false)
+            || token.kind != TokenKind::Ident
+        {
+            continue;
+        }
+        match token.text.as_str() {
+            "pub" => {
+                let Some((ki, kw)) = next_significant(tokens, i + 1) else {
+                    continue;
+                };
+                if !(kw.kind == TokenKind::Ident && matches!(kw.text.as_str(), "struct" | "enum")) {
+                    continue;
+                }
+                let Some((_, name)) = next_significant(tokens, ki + 1) else {
+                    continue;
+                };
+                if name.kind == TokenKind::Ident && name.text.ends_with("Error") {
+                    facts.declared.push((name.text.clone(), name.line));
+                }
+            }
+            "impl" => {
+                // Scan the impl head (to `{`): trait path idents, `for`,
+                // then the implementing type name.
+                let mut saw_display = false;
+                let mut saw_error = false;
+                let mut j = i + 1;
+                let mut target: Option<String> = None;
+                while let Some(t) = tokens.get(j) {
+                    if t.kind == TokenKind::Punct && (t.text == "{" || t.text == ";") {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident {
+                        match t.text.as_str() {
+                            "Display" => saw_display = true,
+                            "Error" => saw_error = true,
+                            "for" => {
+                                target = next_significant(tokens, j + 1)
+                                    .filter(|(_, n)| n.kind == TokenKind::Ident)
+                                    .map(|(_, n)| n.text.clone());
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(target) = target {
+                    if saw_display {
+                        facts.display_for.push(target.clone());
+                    }
+                    if saw_error {
+                        facts.error_for.push(target);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(rel, src);
+        check_file(&file, &RuleConfig::default()).0
+    }
+
+    const SERVE: &str = "crates/serve/src/demo.rs";
+
+    #[test]
+    fn panic_rule_fires_on_each_seeded_construct() {
+        for (src, needle) in [
+            ("fn f() { x.unwrap(); }", ".unwrap()"),
+            ("fn f() { x.expect(\"m\"); }", ".expect()"),
+            ("fn f() { panic!(\"m\"); }", "`panic!`"),
+            ("fn f() { unreachable!(); }", "`unreachable!`"),
+            ("fn f() { todo!(); }", "`todo!`"),
+        ] {
+            let findings = check(SERVE, src);
+            assert_eq!(findings.len(), 1, "{src}");
+            assert!(findings[0].message.contains(needle), "{src}");
+        }
+    }
+
+    #[test]
+    fn panic_rule_ignores_tests_strings_comments_and_lookalikes() {
+        for src in [
+            "#[cfg(test)] mod tests { fn f() { x.unwrap(); } }",
+            "fn f() { let s = \"x.unwrap()\"; }",
+            "fn f() { let s = r#\"panic!()\"#; }",
+            "// x.unwrap() in a comment\nfn f() {}",
+            "fn f() { x.unwrap_or(0); x.unwrap_or_else(f); x.unwrap_or_default(); }",
+        ] {
+            assert!(check(SERVE, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn index_rule_flags_plain_indexing_but_not_ranges_or_literals() {
+        let findings = check(SERVE, "fn f() { let y = xs[i]; }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`xs`"));
+        for src in [
+            "fn f() { let y = &xs[1..4]; }",
+            "fn f() { let y = &xs[start..]; }",
+            "fn f() { let v = [0u8; 4]; }",
+            "fn f() -> Vec<u8> { vec![0; 4] }",
+            "#[derive(Debug)]\nstruct S;",
+            "fn f() { return [1, 2]; }",
+        ] {
+            assert!(check(SERVE, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn allow_directive_suppresses_exactly_its_rule_and_line() {
+        let src = "fn f() {\n    // hems-lint: allow(panic, reason = \"demo invariant\")\n    x.unwrap();\n}\n";
+        assert!(check(SERVE, src).is_empty());
+        let wrong_rule =
+            "fn f() {\n    // hems-lint: allow(index, reason = \"demo\")\n    x.unwrap();\n}\n";
+        assert_eq!(check(SERVE, wrong_rule).len(), 1);
+        let far_away =
+            "// hems-lint: allow(panic, reason = \"demo\")\nfn a() {}\nfn f() { x.unwrap(); }\n";
+        assert_eq!(check(SERVE, far_away).len(), 1);
+    }
+
+    #[test]
+    fn units_rule_fires_on_raw_floats_in_pub_fn_signatures() {
+        let rel = "crates/pv/src/demo.rs";
+        let findings = check(rel, "pub fn power(v: f64) -> f64 { v }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("power"));
+        // Private fns, test code, and bodies are not signatures.
+        for src in [
+            "fn private(v: f64) -> f64 { v }",
+            "pub fn ok(v: Volts) -> Watts { let x: f64 = v.volts(); Watts::new(x) }",
+            "#[cfg(test)] mod tests { pub fn t(v: f64) {} }",
+        ] {
+            assert!(check(rel, src).is_empty(), "{src}");
+        }
+        // An allowlist entry silences it.
+        let file = SourceFile::parse(rel, "pub fn power(v: f64) -> f64 { v }");
+        let mut cfg = RuleConfig::default();
+        cfg.units_allow
+            .insert("crates/pv/src/demo.rs::power".to_string());
+        assert!(check_file(&file, &cfg).0.is_empty());
+    }
+
+    #[test]
+    fn units_rule_spans_multiline_signatures() {
+        let src = "pub fn scaled(\n    self,\n    factor: f64,\n) -> Irradiance {\n    self\n}\n";
+        assert_eq!(check("crates/pv/src/demo.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn timing_rule_fires_on_clock_sleep_and_env_reads() {
+        let rel = "crates/sim/src/demo.rs";
+        for (src, needle) in [
+            ("fn f() { let t = Instant::now(); }", "Instant"),
+            ("fn f() { let t = SystemTime::now(); }", "SystemTime"),
+            ("fn f() { thread::sleep(d); }", "sleep"),
+            ("fn f() { let v = std::env::var(\"X\"); }", "env::var"),
+        ] {
+            let findings = check(rel, src);
+            assert_eq!(findings.len(), 1, "{src}");
+            assert!(findings[0].message.contains(needle), "{src}");
+        }
+        // `var` as a plain identifier is not an env read.
+        assert!(check(rel, "fn f() { let var = 3; }").is_empty());
+        // `sleep` as domain vocabulary (processor sleep states) is fine.
+        assert!(check(rel, "fn f() { cpu.sleep(); let sleep = mode; }").is_empty());
+        // The serve crate's latency code is exempt by path.
+        assert!(check("crates/serve/src/stats.rs", "fn f() { Instant::now(); }").is_empty());
+        // Allowlist exemptions: per-ident and whole-file.
+        let mut cfg = RuleConfig::default();
+        cfg.timing_allow
+            .insert("crates/sim/src/demo.rs::var".to_string());
+        let file = SourceFile::parse(rel, "fn f() { let v = std::env::var(\"X\"); }");
+        assert!(check_file(&file, &cfg).0.is_empty());
+    }
+
+    #[test]
+    fn hygiene_rule_requires_root_attributes() {
+        let findings = check("crates/pv/src/lib.rs", "//! docs\npub fn f() {}\n");
+        assert_eq!(findings.len(), 2);
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(check("crates/pv/src/lib.rs", good).is_empty());
+        // Non-root files are not checked for the attributes.
+        assert!(check("crates/pv/src/cell.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn hygiene_rule_requires_display_and_error_impls() {
+        let declared = "pub enum DemoError { Bad }\n";
+        let file = SourceFile::parse("crates/pv/src/error.rs", declared);
+        let (_, facts) = check_file(&file, &RuleConfig::default());
+        let findings = reconcile_error_types(&[("crates/pv/src/error.rs".to_string(), facts)]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("Display"));
+        assert!(findings[0].message.contains("std::error::Error"));
+
+        let complete = "pub enum DemoError { Bad }\n\
+             impl fmt::Display for DemoError { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }\n\
+             impl std::error::Error for DemoError {}\n";
+        let file = SourceFile::parse("crates/pv/src/error.rs", complete);
+        let (_, facts) = check_file(&file, &RuleConfig::default());
+        assert!(reconcile_error_types(&[("crates/pv/src/error.rs".to_string(), facts)]).is_empty());
+    }
+
+    #[test]
+    fn error_impls_are_matched_within_a_crate_across_files() {
+        let decl = SourceFile::parse("crates/pv/src/error.rs", "pub struct PvError;\n");
+        let impls = SourceFile::parse(
+            "crates/pv/src/display.rs",
+            "impl std::fmt::Display for PvError {}\nimpl std::error::Error for PvError {}\n",
+        );
+        let cfg = RuleConfig::default();
+        let facts = vec![
+            (
+                "crates/pv/src/error.rs".to_string(),
+                check_file(&decl, &cfg).1,
+            ),
+            (
+                "crates/pv/src/display.rs".to_string(),
+                check_file(&impls, &cfg).1,
+            ),
+        ];
+        assert!(reconcile_error_types(&facts).is_empty());
+        // A different crate's impls do not count.
+        let elsewhere = vec![
+            (
+                "crates/pv/src/error.rs".to_string(),
+                check_file(&decl, &cfg).1,
+            ),
+            (
+                "crates/cpu/src/display.rs".to_string(),
+                check_file(&impls, &cfg).1,
+            ),
+        ];
+        assert_eq!(reconcile_error_types(&elsewhere).len(), 1);
+    }
+}

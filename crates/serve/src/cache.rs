@@ -14,6 +14,7 @@
 //! cheaper than maintaining an intrusive list — and it only runs when a
 //! shard is full.
 
+use crate::sync::relock;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -53,13 +54,15 @@ impl PlanCache {
 
     fn shard(&self, key: u64) -> &Mutex<Shard> {
         // Top bits: the FNV avalanche is strongest there, and the low bits
-        // already index the HashMap buckets inside the shard.
+        // already index the HashMap buckets inside the shard. The modulo
+        // keeps the index in 0..SHARDS by construction.
+        // hems-lint: allow(index, reason = "index is key % SHARDS, always in range")
         &self.shards[(key >> 61) as usize % SHARDS]
     }
 
     /// Looks up a key, refreshing its recency on a hit.
     pub fn get(&self, key: u64) -> Option<String> {
-        let mut shard = self.shard(key).lock().expect("cache shard not poisoned");
+        let mut shard = relock(self.shard(key));
         shard.clock += 1;
         let clock = shard.clock;
         shard.entries.get_mut(&key).map(|entry| {
@@ -74,7 +77,7 @@ impl PlanCache {
         if self.per_shard_capacity == 0 {
             return;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard not poisoned");
+        let mut shard = relock(self.shard(key));
         shard.clock += 1;
         let clock = shard.clock;
         if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
@@ -87,10 +90,7 @@ impl PlanCache {
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard not poisoned").entries.len())
-            .sum()
+        self.shards.iter().map(|s| relock(s).entries.len()).sum()
     }
 
     /// `true` when no shard holds an entry.

@@ -357,10 +357,14 @@ impl<'a> Parser<'a> {
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
+                    // bytes are valid UTF-8 by construction; report rather
+                    // than crash if that ever stops holding).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let ch = s.chars().next().expect("peeked non-empty");
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let Some(ch) = s.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -391,7 +395,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII in number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err(format!("invalid number '{text}'")))

@@ -46,6 +46,7 @@ pub mod planner;
 pub mod proto;
 pub mod server;
 pub mod stats;
+mod sync;
 
 pub use cache::PlanCache;
 pub use json::Value;

@@ -137,11 +137,12 @@ fn bypass_decision(job: &PlanJob) -> Result<Value, String> {
     // The crossover calibration can legitimately fail (bypass never wins
     // for an efficient-everywhere regulator); the per-level comparison is
     // still the answer, with the crossover attached when it exists.
+    let dawn = hems_pv::Irradiance::new(0.02).map_err(|e| e.to_string())?;
     let policy = BypassPolicy::calibrate(
         job.config.cell.model(),
         &job.config.regulator,
         &job.config.cpu,
-        hems_pv::Irradiance::new(0.02).expect("in range"),
+        dawn,
         hems_pv::Irradiance::FULL_SUN,
     );
     let mut fields = vec![

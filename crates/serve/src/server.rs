@@ -41,6 +41,7 @@ use crate::cache::PlanCache;
 use crate::planner::{self, PlanJob};
 use crate::proto::{error_response, ok_response, overloaded_response, QueryKind, Request};
 use crate::stats::ServeStats;
+use crate::sync::relock;
 use hems_sim::WorkerPool;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
@@ -101,7 +102,7 @@ struct Shared {
 
 impl Shared {
     fn queue_depth(&self) -> usize {
-        self.queue.lock().expect("queue not poisoned").len()
+        relock(&self.queue).len()
     }
 
     fn begin_shutdown(&self) {
@@ -146,9 +147,11 @@ impl ServerHandle {
     pub fn wait(&mut self) {
         {
             let (lock, cv) = &self.shared.drained_cv;
-            let mut drained = lock.lock().expect("drain flag not poisoned");
+            let mut drained = relock(lock);
             while !*drained {
-                drained = cv.wait(drained).expect("drain flag not poisoned");
+                drained = cv
+                    .wait(drained)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
         self.join_threads();
@@ -196,15 +199,23 @@ pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Serve
         let shared = Arc::clone(&shared);
         thread::Builder::new()
             .name("hems-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared))
-            .expect("spawn acceptor")
+            .spawn(move || accept_loop(&listener, &shared))?
     };
     let batcher = {
         let shared = Arc::clone(&shared);
         thread::Builder::new()
             .name("hems-serve-batch".to_string())
             .spawn(move || batch_loop(&shared))
-            .expect("spawn batcher")
+    };
+    let batcher = match batcher {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Without a batcher the server would accept and never answer;
+            // unwind the acceptor before reporting the failure.
+            shared.begin_shutdown();
+            let _ = acceptor.join();
+            return Err(e);
+        }
     };
 
     Ok(ServerHandle {
@@ -255,7 +266,8 @@ fn read_line_bounded(
                 };
             }
             Ok(_) => {
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
                 }
                 if line.len() >= max_bytes {
@@ -264,7 +276,7 @@ fn read_line_bounded(
                         "request line exceeds the size cap",
                     ));
                 }
-                line.push(byte[0]);
+                line.push(b);
             }
             Err(e) => return Err(e),
         }
@@ -272,7 +284,7 @@ fn read_line_bounded(
 }
 
 fn write_line(conn: &Arc<Mutex<TcpStream>>, line: &str) {
-    let mut stream = conn.lock().expect("connection not poisoned");
+    let mut stream = relock(conn);
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.write_all(b"\n");
     let _ = stream.flush();
@@ -343,7 +355,16 @@ fn handle_plan_query(
     request: Request,
     started: Instant,
 ) {
-    let spec = request.scenario.expect("plan queries carry a scenario");
+    let Some(spec) = request.scenario else {
+        // Parsing guarantees plan queries carry a scenario; answer rather
+        // than crash the connection if that invariant ever slips.
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &error_response(&request.id, "plan query is missing a scenario"),
+        );
+        return;
+    };
     let job = match PlanJob::build(request.kind, spec) {
         Ok(job) => job,
         Err(message) => {
@@ -362,7 +383,7 @@ fn handle_plan_query(
     // accepting flag is checked under the queue lock so shutdown cannot
     // race an enqueue past the drain.
     let refused = {
-        let mut queue = shared.queue.lock().expect("queue not poisoned");
+        let mut queue = relock(&shared.queue);
         if !shared.accepting.load(Ordering::SeqCst) {
             Some("shutting down")
         } else if queue.len() >= shared.config.max_queue {
@@ -408,7 +429,7 @@ fn elapsed_ns(started: Instant) -> f64 {
 fn batch_loop(shared: &Arc<Shared>) {
     loop {
         let batch: Vec<Pending> = {
-            let mut queue = shared.queue.lock().expect("queue not poisoned");
+            let mut queue = relock(&shared.queue);
             loop {
                 if !queue.is_empty() {
                     let n = queue.len().min(shared.config.max_batch);
@@ -418,11 +439,14 @@ fn batch_loop(shared: &Arc<Shared>) {
                     // Queue empty and no new work can arrive: drained.
                     drop(queue);
                     let (lock, cv) = &shared.drained_cv;
-                    *lock.lock().expect("drain flag not poisoned") = true;
+                    *relock(lock) = true;
                     cv.notify_all();
                     return;
                 }
-                queue = shared.queue_ready.wait(queue).expect("queue not poisoned");
+                queue = shared
+                    .queue_ready
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
 
@@ -438,15 +462,19 @@ fn batch_loop(shared: &Arc<Shared>) {
         }
         shared.stats.record_batch(jobs.len());
 
-        let answers = shared.pool.run_jobs(
-            jobs.iter()
-                .cloned()
-                .map(|job| move || (job.key, planner::answer(&job)))
+        // run_jobs_result isolates a panicking solve to its own slot:
+        // that key's waiters get an error response and every other job
+        // in the batch (and the pool itself) carries on.
+        let keys: Vec<u64> = jobs.iter().map(|job| job.key).collect();
+        let answers = shared.pool.run_jobs_result(
+            jobs.into_iter()
+                .map(|job| move || planner::answer(&job))
                 .collect::<Vec<_>>(),
         );
 
-        for (key, answer) in answers {
+        for (key, outcome) in keys.into_iter().zip(answers) {
             let pendings = waiters.remove(&key).unwrap_or_default();
+            let answer = outcome.unwrap_or_else(|panic| Err(format!("internal error: {panic}")));
             match answer {
                 Ok(result) => {
                     let rendered = result.render();

@@ -8,6 +8,7 @@
 //! the `stats` query and `BENCH_serve.json` are directly comparable.
 
 use crate::json::Value;
+use crate::sync::relock;
 use hems_bench::harness::percentile;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -73,12 +74,14 @@ impl ServeStats {
 
     /// Records one request's service latency (receipt → response write).
     pub fn record_latency_ns(&self, ns: f64) {
-        let mut ring = self.latencies.lock().expect("latency ring not poisoned");
+        let mut ring = relock(&self.latencies);
         if ring.samples_ns.len() < LATENCY_WINDOW {
             ring.samples_ns.push(ns);
         } else {
             let slot = ring.next;
-            ring.samples_ns[slot] = ns;
+            if let Some(sample) = ring.samples_ns.get_mut(slot) {
+                *sample = ns;
+            }
             ring.filled = true;
         }
         ring.next = (ring.next + 1) % LATENCY_WINDOW;
@@ -87,12 +90,12 @@ impl ServeStats {
     /// The recent-latency percentiles `(p50, p95)` in nanoseconds, `None`
     /// with no samples yet.
     pub fn latency_percentiles(&self) -> Option<(f64, f64)> {
-        let ring = self.latencies.lock().expect("latency ring not poisoned");
+        let ring = relock(&self.latencies);
         if ring.samples_ns.is_empty() {
             return None;
         }
         let mut sorted = ring.samples_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sorted.sort_by(f64::total_cmp);
         Some((percentile(&sorted, 50.0), percentile(&sorted, 95.0)))
     }
 

@@ -1,0 +1,15 @@
+//! Poison-recovering lock helpers shared by the service plane.
+//!
+//! A panic while holding one of this crate's mutexes poisons it; the
+//! default `lock().unwrap()` would then cascade that one fault into every
+//! other thread touching the lock. The state guarded here — streams,
+//! queues of requests, counters, cache shards — stays structurally valid
+//! across an unwind, so recovery is always safe: take the guard back and
+//! keep serving.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -58,5 +58,5 @@ pub use events::{Event, EventKind, EventLog};
 pub use jobs::{Job, JobQueue};
 pub use ledger::EnergyLedger;
 pub use light::LightProfile;
-pub use pool::WorkerPool;
+pub use pool::{JobPanicError, WorkerPool};
 pub use trace::{Sample, WaveformRecorder};

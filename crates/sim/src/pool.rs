@@ -11,12 +11,25 @@
 //! * [`WorkerPool::run_jobs`] — the generic batch entry: any `FnOnce() -> T`
 //!   jobs, results returned **in submission order** (scatter-by-index, the
 //!   same determinism device the sweep merge uses).
+//! * [`WorkerPool::run_jobs_result`] — the fault-isolating variant: a job
+//!   that panics yields an `Err` in its own slot instead of taking the
+//!   batch (or the service above it) down.
 //! * [`WorkerPool::run_scenarios`] — the sweep-shaped convenience wrapper:
 //!   a scenario batch in, bit-identical-to-serial results out.
 //!
 //! The pool is deliberately simple: one `Mutex<VecDeque>` injector plus a
 //! condvar. Sweep scenarios and planner queries run for micro- to
 //! milliseconds, so queue contention is noise next to the work itself.
+//!
+//! # Fault tolerance
+//!
+//! Every job runs under `catch_unwind`, so a panicking job cannot kill its
+//! worker thread or strand the batch; completion bookkeeping always runs.
+//! Lock poisoning is recovered (`PoisonError::into_inner`) — the protected
+//! state is a queue of boxed closures and per-batch result slots, both of
+//! which stay structurally valid across an unwind. If the OS refuses to
+//! spawn any worker at all, the pool degrades to executing batches inline
+//! on the calling thread.
 //!
 //! # Blocking and re-entrancy
 //!
@@ -25,11 +38,56 @@
 //! job — with every worker waiting on the inner batch the pool deadlocks.
 
 use crate::sweep::{run_scenario, Scenario, ScenarioResult};
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job's outcome as stored in its batch slot: the value, or the panic
+/// payload captured by `catch_unwind`.
+type JobOutcome<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Locks a mutex, recovering from poisoning: the pool's protected state
+/// (task queue, result slots, counters) stays structurally valid across
+/// an unwind, so the poison flag carries no information here.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A pool job panicked; carries the rendered panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicError {
+    message: String,
+}
+
+impl JobPanicError {
+    fn from_payload(payload: &(dyn Any + Send)) -> JobPanicError {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        JobPanicError { message }
+    }
+
+    /// The panic message (or a placeholder for non-string payloads).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for JobPanicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanicError {}
 
 /// Shared injector state: a queue of tasks plus a closed flag the drop
 /// handler raises so workers exit.
@@ -40,7 +98,7 @@ struct Injector {
 
 /// Completion state of one in-flight batch.
 struct Batch<T> {
-    slots: Mutex<Vec<Option<T>>>,
+    slots: Mutex<Vec<Option<JobOutcome<T>>>>,
     remaining: Mutex<usize>,
     done: Condvar,
 }
@@ -63,11 +121,9 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns a pool of `threads` workers (clamped up to 1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the OS refuses to spawn a thread.
+    /// Spawns a pool of `threads` workers (clamped up to 1). Workers the
+    /// OS refuses to spawn are simply absent; if none spawn at all, the
+    /// pool still works by running batches inline on the calling thread.
     pub fn new(threads: usize) -> WorkerPool {
         let threads = threads.max(1);
         let injector = Arc::new(Injector {
@@ -75,13 +131,13 @@ impl WorkerPool {
             available: Condvar::new(),
         });
         let workers = (0..threads)
-            .map(|i| {
+            .filter_map(|i| {
                 let injector = Arc::clone(&injector);
                 std::thread::Builder::new()
                     .name(format!("hems-pool-{i}"))
                     .spawn(move || loop {
                         let task = {
-                            let mut guard = injector.queue.lock().expect("injector not poisoned");
+                            let mut guard = relock(&injector.queue);
                             loop {
                                 if let Some(task) = guard.0.pop_front() {
                                     break task;
@@ -92,12 +148,12 @@ impl WorkerPool {
                                 guard = injector
                                     .available
                                     .wait(guard)
-                                    .expect("injector not poisoned");
+                                    .unwrap_or_else(PoisonError::into_inner);
                             }
                         };
                         task();
                     })
-                    .expect("spawn pool worker")
+                    .ok()
             })
             .collect();
         WorkerPool { injector, workers }
@@ -109,21 +165,15 @@ impl WorkerPool {
         WorkerPool::new(crate::sweep::resolved_threads(explicit))
     }
 
-    /// Number of worker threads.
+    /// Number of live worker threads (0 means inline fallback).
     pub fn threads(&self) -> usize {
         self.workers.len()
     }
 
-    /// Executes a batch of jobs on the pool, blocking until all complete,
-    /// and returns their results **in submission order** regardless of
-    /// completion order.
-    ///
-    /// # Panics
-    ///
-    /// A panicking job kills its worker thread; the batch then never
-    /// completes and `run_jobs` panics on the poisoned batch state rather
-    /// than hanging. Jobs are expected not to panic.
-    pub fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    /// Executes a batch and returns each slot's raw outcome in submission
+    /// order. Jobs run under `catch_unwind`, so completion bookkeeping
+    /// runs even for panicking jobs and the batch always finishes.
+    fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<Option<JobOutcome<T>>>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
@@ -132,20 +182,29 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        if self.workers.is_empty() {
+            // Degraded mode: no worker ever spawned; run inline.
+            return jobs
+                .into_iter()
+                .map(|job| Some(catch_unwind(AssertUnwindSafe(job))))
+                .collect();
+        }
         let batch = Arc::new(Batch {
-            slots: Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>()),
+            slots: Mutex::new((0..n).map(|_| None).collect::<Vec<Option<JobOutcome<T>>>>()),
             remaining: Mutex::new(n),
             done: Condvar::new(),
         });
         {
-            let mut guard = self.injector.queue.lock().expect("injector not poisoned");
+            let mut guard = relock(&self.injector.queue);
             for (index, job) in jobs.into_iter().enumerate() {
                 let batch = Arc::clone(&batch);
                 guard.0.push_back(Box::new(move || {
-                    let result = job();
-                    batch.slots.lock().expect("batch not poisoned")[index] = Some(result);
-                    let mut remaining = batch.remaining.lock().expect("batch not poisoned");
-                    *remaining -= 1;
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    if let Some(slot) = relock(&batch.slots).get_mut(index) {
+                        *slot = Some(outcome);
+                    }
+                    let mut remaining = relock(&batch.remaining);
+                    *remaining = remaining.saturating_sub(1);
                     if *remaining == 0 {
                         batch.done.notify_all();
                     }
@@ -153,15 +212,61 @@ impl WorkerPool {
             }
         }
         self.injector.available.notify_all();
-        let mut remaining = batch.remaining.lock().expect("batch not poisoned");
+        let mut remaining = relock(&batch.remaining);
         while *remaining > 0 {
-            remaining = batch.done.wait(remaining).expect("batch not poisoned");
+            remaining = batch
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(remaining);
-        let mut slots = batch.slots.lock().expect("batch not poisoned");
+        let mut slots = relock(&batch.slots);
         std::mem::take(&mut *slots)
+    }
+
+    /// Executes a batch of jobs on the pool, blocking until all complete,
+    /// and returns their results **in submission order** regardless of
+    /// completion order.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job does not kill its worker or strand the batch; its
+    /// panic is re-raised here on the calling thread once the whole batch
+    /// has completed. Use [`WorkerPool::run_jobs_result`] to handle job
+    /// panics as values instead.
+    pub fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        self.run_batch(jobs)
             .into_iter()
-            .map(|slot| slot.expect("every job produced a result"))
+            .map(|slot| match slot {
+                Some(Ok(value)) => value,
+                Some(Err(payload)) => resume_unwind(payload),
+                None => resume_unwind(Box::new("pool batch slot was never filled")),
+            })
+            .collect()
+    }
+
+    /// Like [`WorkerPool::run_jobs`], but a panicking job yields an
+    /// `Err(JobPanicError)` in its own slot while the rest of the batch
+    /// completes normally — the fault-isolation entry for services that
+    /// must degrade per-request rather than crash.
+    pub fn run_jobs_result<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, JobPanicError>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        self.run_batch(jobs)
+            .into_iter()
+            .map(|slot| match slot {
+                Some(Ok(value)) => Ok(value),
+                Some(Err(payload)) => Err(JobPanicError::from_payload(payload.as_ref())),
+                None => Err(JobPanicError {
+                    message: "batch slot was never filled".to_string(),
+                }),
+            })
             .collect()
     }
 
@@ -181,7 +286,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut guard = self.injector.queue.lock().expect("injector not poisoned");
+            let mut guard = relock(&self.injector.queue);
             guard.1 = true;
         }
         self.injector.available.notify_all();
@@ -246,5 +351,47 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.run_jobs(vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_to_its_own_slot() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in job 1")),
+            Box::new(|| 3),
+        ];
+        let results = pool.run_jobs_result(jobs);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[2], Ok(3));
+        let err = results[1].clone().unwrap_err();
+        assert!(err.message().contains("boom"), "{err}");
+        assert!(err.to_string().contains("pool job panicked"));
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch_and_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("transient")), Box::new(|| 2)];
+        let first = pool.run_jobs_result(jobs);
+        assert!(first[0].is_err());
+        assert_eq!(first[1], Ok(2));
+        // Workers are all still alive and the next batch is clean.
+        let second = pool.run_jobs((0..8u32).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(second, (1..=8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn run_jobs_reraises_a_job_panic_after_the_batch_completes() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(2);
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                vec![Box::new(|| 1), Box::new(|| panic!("propagate me"))];
+            pool.run_jobs(jobs)
+        });
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "propagate me");
     }
 }

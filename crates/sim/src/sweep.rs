@@ -368,18 +368,29 @@ pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<Sce
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| {
+                // Re-raise a worker's panic on the caller with its own
+                // payload (a scenario integrator bug, not a data condition).
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
+            })
             .collect()
     });
     let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
     for (position, result) in buffers.into_iter().flatten() {
-        debug_assert!(slots[position].is_none(), "scenario {position} ran twice");
-        slots[position] = Some(result);
+        if let Some(slot) = slots.get_mut(position) {
+            debug_assert!(slot.is_none(), "scenario {position} ran twice");
+            *slot = Some(result);
+        }
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every scenario position produced a result"))
-        .collect()
+    // Every position 0..n was claimed exactly once by the atomic cursor,
+    // so flatten drops nothing; the length check guards the invariant.
+    let results: Vec<ScenarioResult> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(
+        results.len(),
+        n,
+        "every scenario position produced a result"
+    );
+    results
 }
 
 /// Environment variable overriding the worker-thread count used when no

@@ -21,6 +21,18 @@ cargo fmt --check
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== lint: hems-lint =="
+# The repo's own static-analysis gate (DESIGN.md §10): panic-freedom on
+# the service plane, unit discipline in the physics crates, determinism
+# in the solvers, crate hygiene. It scans its own source too. Exits
+# nonzero on any non-baselined finding.
+cargo run --release -q -p hems-lint
+# The --json mode must stay machine-readable: the summary line is valid
+# JSON (round-trip tested against the serve crate's parser in the test
+# suite; this is the cheap end-to-end smoke of the same path).
+cargo run --release -q -p hems-lint -- --json | tail -1 | grep -q '"summary":true' \
+    || { echo "verify: hems-lint --json summary line missing" >&2; exit 1; }
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 

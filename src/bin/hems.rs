@@ -252,7 +252,7 @@ fn cmd_classify(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!(
         "at 0.5 V this frame takes {:.2} ms (the paper's ~15 ms operating point)",
-        cpu.execution_time(result.cycles.count(), op).to_milli()
+        cpu.execution_time(result.cycles, op).to_milli()
     );
     Ok(())
 }

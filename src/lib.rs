@@ -4,6 +4,9 @@
 //! integration tests can `use hems_repro::...`. See the individual crates
 //! for detailed documentation; start with [`hems_core`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use hems_core as core;
 pub use hems_cpu as cpu;
 pub use hems_imgproc as imgproc;

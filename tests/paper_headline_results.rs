@@ -88,7 +88,7 @@ fn a_frame_takes_about_15ms_at_half_volt() {
     let result = pipeline.process(&frame);
     let cpu = Microprocessor::paper_65nm();
     let op = cpu.max_speed_point(Volts::new(0.5)).expect("in window");
-    let t = cpu.execution_time(result.cycles.count(), op);
+    let t = cpu.execution_time(result.cycles, op);
     assert!(
         (t.to_milli() - 15.0).abs() < 1.5,
         "frame took {:.2} ms at 0.5 V (paper: ~15 ms)",
