@@ -1,0 +1,32 @@
+//! The crate's error type.
+
+/// Why a campaign could not run (distinct from a fault the campaign
+/// *injected* — those are results, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosError {
+    context: String,
+    message: String,
+}
+
+impl ChaosError {
+    /// An error tagged with the campaign stage it happened in.
+    pub fn new(context: &str, message: impl Into<String>) -> ChaosError {
+        ChaosError {
+            context: context.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The stage that failed.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for ChaosError {}

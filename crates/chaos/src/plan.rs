@@ -1,0 +1,110 @@
+//! Campaign seeds and sizing.
+//!
+//! One master seed fans out into independent per-surface RNG streams by
+//! mixing the seed with the surface's name through the canonical FNV-1a
+//! key hasher — so the power campaign's draws never perturb the net
+//! campaign's, and each surface is reproducible in isolation.
+
+use hems_core::cachekey::KeyHasher;
+use hems_units::XorShiftRng;
+
+/// The seeded source of every fault a campaign injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan from a master seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed }
+    }
+
+    /// The master seed (printed in reports so a failure is replayable).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// An independent, deterministic RNG stream for one surface.
+    pub fn stream(&self, surface: &str) -> XorShiftRng {
+        let mut hasher = KeyHasher::new();
+        hasher.write_tag("chaos-stream");
+        hasher.write_tag(surface);
+        hasher.write_u64(self.seed);
+        XorShiftRng::seed_from_u64(hasher.finish())
+    }
+}
+
+/// How big a campaign to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Master seed for every injected fault.
+    pub seed: u64,
+    /// Most checkpoint boundaries to brown out at (power surface). The
+    /// reference chain's boundaries are covered evenly up to this cap.
+    pub power_boundaries: usize,
+    /// Rounds of concurrent worker-pool faulting (compute surface).
+    pub compute_rounds: usize,
+    /// Jobs per compute round.
+    pub compute_jobs: usize,
+    /// Healthy plan requests through the chaos proxy, first pass.
+    pub net_requests: usize,
+    /// Healthy plan requests after the attack wave, proving recovery.
+    pub net_requests_after: usize,
+    /// Server read deadline in milliseconds (kept short so the slow-loris
+    /// attacker is reaped quickly).
+    pub net_read_timeout_ms: u64,
+}
+
+impl CampaignConfig {
+    /// The full campaign for a seed.
+    pub fn full(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            power_boundaries: 12,
+            compute_rounds: 6,
+            compute_jobs: 24,
+            net_requests: 18,
+            net_requests_after: 8,
+            net_read_timeout_ms: 250,
+        }
+    }
+
+    /// A small plan for CI smoke runs: same shape, minutes less wall time.
+    pub fn smoke(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            power_boundaries: 3,
+            compute_rounds: 2,
+            compute_jobs: 8,
+            net_requests: 8,
+            net_requests_after: 4,
+            net_read_timeout_ms: 200,
+        }
+    }
+
+    /// The fault plan this campaign draws from.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_surface_independent() {
+        let plan = FaultPlan::new(7);
+        let mut a = plan.stream("power");
+        let mut b = plan.stream("power");
+        let mut c = plan.stream("net");
+        let first_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let first_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let first_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(first_a, first_b, "same surface, same stream");
+        assert_ne!(first_a, first_c, "different surfaces diverge");
+        let mut other_seed = FaultPlan::new(8).stream("power");
+        assert_ne!(first_a.first().copied(), Some(other_seed.next_u64()));
+    }
+}

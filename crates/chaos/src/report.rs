@@ -1,0 +1,164 @@
+//! Campaign orchestration and reporting.
+//!
+//! A campaign runs all three surfaces, collects one JSON line per
+//! injected fault, and validates every line through the serve crate's own
+//! parser before it is emitted — the report exercises the same wire
+//! machinery the chaos proxy attacks. The summary becomes
+//! `BENCH_chaos.json`: per-surface injected/recovered counts and survival
+//! rates, keyed by the seed so any failure is replayable.
+
+use crate::error::ChaosError;
+use crate::plan::CampaignConfig;
+use crate::{compute, net, power};
+use hems_serve::json::{parse, Value};
+
+/// A finished campaign.
+#[derive(Debug)]
+pub struct Campaign {
+    /// Every report line, in emission order.
+    pub lines: Vec<Value>,
+    /// The `BENCH_chaos.json` summary object.
+    pub summary: Value,
+    /// Faults injected across all surfaces.
+    pub injected: u64,
+    /// Faults recovered across all surfaces.
+    pub recovered: u64,
+}
+
+impl Campaign {
+    /// Faults that were injected but not absorbed. A healthy stack
+    /// reports zero.
+    pub fn unrecovered(&self) -> u64 {
+        self.injected.saturating_sub(self.recovered)
+    }
+
+    /// Renders the JSON-lines report, round-tripping every line through
+    /// the serve crate's parser.
+    ///
+    /// # Errors
+    ///
+    /// Errors if any line fails to re-parse or re-render identically —
+    /// that would mean the reporter emits frames the service stack
+    /// itself could not read.
+    pub fn render_lines(&self) -> Result<String, ChaosError> {
+        let mut out = String::new();
+        for line in &self.lines {
+            let rendered = line.render();
+            let reparsed = parse(&rendered)
+                .map_err(|e| ChaosError::new("report: line round-trip", e.to_string()))?;
+            if reparsed.render() != rendered {
+                return Err(ChaosError::new(
+                    "report: line round-trip",
+                    "re-render differs from the original line",
+                ));
+            }
+            out.push_str(&rendered);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+fn rate(recovered: u64, injected: u64) -> f64 {
+    if injected == 0 {
+        1.0
+    } else {
+        recovered as f64 / injected as f64
+    }
+}
+
+fn surface_summary(name: &str, injected: u64, recovered: u64) -> Value {
+    Value::obj(vec![
+        ("surface", Value::str(name)),
+        ("injected", Value::Num(injected as f64)),
+        ("recovered", Value::Num(recovered as f64)),
+        ("survival_rate", Value::Num(rate(recovered, injected))),
+    ])
+}
+
+/// Runs the full seeded campaign: power, then compute, then I/O.
+///
+/// # Errors
+///
+/// Errors when a campaign harness cannot start; injected faults that
+/// fail to recover are *results* (see [`Campaign::unrecovered`]), not
+/// errors.
+pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
+    // Quietens the intentionally injected panics (and counts any genuine
+    // server-side ones) for every surface, not just net.
+    net::install_panic_probe();
+    let power = power::run(config)?;
+    let compute = compute::run(config)?;
+    let net = net::run(config)?;
+
+    let injected = power.injected + compute.injected + net.injected;
+    let recovered = power.recovered + compute.recovered + net.recovered;
+    let mut lines = Vec::new();
+    lines.extend(power.lines);
+    lines.extend(compute.lines);
+    lines.extend(net.lines);
+
+    let summary = Value::obj(vec![
+        ("bench", Value::str("chaos")),
+        ("seed", Value::Num(config.seed as f64)),
+        (
+            "surfaces",
+            Value::Arr(vec![
+                surface_summary("power", power.injected, power.recovered),
+                surface_summary("compute", compute.injected, compute.recovered),
+                surface_summary("net", net.injected, net.recovered),
+            ]),
+        ),
+        ("injected", Value::Num(injected as f64)),
+        ("recovered", Value::Num(recovered as f64)),
+        (
+            "unrecovered",
+            Value::Num(injected.saturating_sub(recovered) as f64),
+        ),
+        ("survival_rate", Value::Num(rate(recovered, injected))),
+        ("serve_panics", Value::Num(net.serve_panics as f64)),
+    ]);
+    lines.push(Value::obj(vec![
+        ("surface", Value::str("campaign")),
+        ("summary", summary.clone()),
+    ]));
+
+    Ok(Campaign {
+        lines,
+        summary,
+        injected,
+        recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_recovers_everything_and_reproduces_byte_for_byte() {
+        // The headline acceptance check: two runs with the same seed emit
+        // the identical report, and nothing goes unrecovered.
+        let config = CampaignConfig::smoke(7);
+        let first = run_campaign(&config).expect("first run");
+        assert_eq!(first.unrecovered(), 0, "{}", first.summary.render());
+        let text_a = first.render_lines().expect("render");
+        let second = run_campaign(&config).expect("second run");
+        let text_b = second.render_lines().expect("render");
+        assert_eq!(text_a, text_b, "same seed, same bytes");
+        // A different seed must actually change the faults.
+        let other = run_campaign(&CampaignConfig::smoke(8)).expect("third run");
+        assert_eq!(other.unrecovered(), 0);
+        assert_ne!(
+            text_a,
+            other.render_lines().expect("render"),
+            "the seed reaches the injected faults"
+        );
+    }
+
+    #[test]
+    fn survival_rate_handles_zero_injection() {
+        assert_eq!(rate(0, 0), 1.0);
+        assert_eq!(rate(1, 2), 0.5);
+    }
+}

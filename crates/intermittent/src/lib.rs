@@ -63,4 +63,4 @@ pub use chain::{Task, TaskChain};
 pub use error::IntermittentError;
 pub use nvm::NvmModel;
 pub use policy::CheckpointPolicy;
-pub use runtime::{ForwardProgress, IntermittentRuntime};
+pub use runtime::{CommitEvent, ForwardProgress, IntermittentRuntime};

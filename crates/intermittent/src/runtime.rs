@@ -37,6 +37,32 @@ impl ForwardProgress {
     }
 }
 
+/// One durably committed task completion, reported in commit order.
+///
+/// The commit stream is the runtime's externally visible "result": a
+/// crash-consistent execution commits the chain's tasks exactly once each,
+/// in chain order, with positions strictly increasing — no matter how many
+/// power failures interrupt it. Chaos campaigns digest this stream and
+/// compare faulted runs against fault-free ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitEvent {
+    /// Simulation time at which the commit completed.
+    pub at: Seconds,
+    /// Chain iteration the committed task belongs to.
+    pub iteration: u64,
+    /// Task index within the chain.
+    pub task: usize,
+}
+
+impl CommitEvent {
+    /// The task's absolute position in the run: `iteration * chain_len +
+    /// task`. Crash consistency means positions are exactly `0, 1, 2, …`
+    /// with no gaps, duplicates, or regressions.
+    pub fn position(&self, chain_len: usize) -> u64 {
+        self.iteration * chain_len as u64 + self.task as u64
+    }
+}
+
 /// Drives a simulation while executing a repeating task chain with
 /// checkpointed, rollback-correct progress — see the crate docs.
 #[derive(Debug, Clone)]
@@ -113,6 +139,20 @@ impl IntermittentRuntime {
         controller: &mut dyn Controller,
         duration: Seconds,
     ) -> ForwardProgress {
+        self.run_observed(sim, controller, duration, &mut |_| {})
+    }
+
+    /// [`run`](IntermittentRuntime::run) with a commit observer: `observe`
+    /// is called once per durably committed task, in commit order, as the
+    /// commits complete. Fault-injection campaigns use this to digest the
+    /// commit stream and prove crash consistency.
+    pub fn run_observed(
+        &mut self,
+        sim: &mut Simulation,
+        controller: &mut dyn Controller,
+        duration: Seconds,
+        observe: &mut dyn FnMut(&CommitEvent),
+    ) -> ForwardProgress {
         let dt = sim.config().dt;
         let steps = (duration.seconds() / dt.seconds()).round() as u64;
         let mut last_cycles = sim.total_cycles().count();
@@ -128,7 +168,7 @@ impl IntermittentRuntime {
                 self.rollback();
             }
             if delta > 0.0 {
-                self.execute(delta, sim.v_solar());
+                self.execute(delta, sim.v_solar(), sim.now(), observe);
             }
         }
         self.progress()
@@ -169,7 +209,13 @@ impl IntermittentRuntime {
     }
 
     /// Spends `budget` executed cycles on commit-in-progress and task work.
-    fn execute(&mut self, mut budget: f64, v_solar: Volts) {
+    fn execute(
+        &mut self,
+        mut budget: f64,
+        v_solar: Volts,
+        now: Seconds,
+        observe: &mut dyn FnMut(&CommitEvent),
+    ) {
         while budget > 0.0 {
             // Finish an in-flight commit first.
             if let Some(remaining) = self.commit_remaining {
@@ -180,6 +226,16 @@ impl IntermittentRuntime {
                     // Commit completes atomically.
                     self.checkpoint += self.commit_spent;
                     self.useful += self.work_since_commit;
+                    let len = self.chain.len() as u64;
+                    let from = self.committed_iterations * len + self.committed_task as u64;
+                    let to = self.volatile_iterations * len + self.volatile_task as u64;
+                    for pos in from..to {
+                        observe(&CommitEvent {
+                            at: now,
+                            iteration: pos / len,
+                            task: (pos % len) as usize,
+                        });
+                    }
                     self.committed_task = self.volatile_task;
                     self.committed_iterations = self.volatile_iterations;
                     self.work_since_commit = 0.0;
@@ -231,6 +287,7 @@ mod tests {
     use hems_core::{HolisticController, Mode};
     use hems_pv::Irradiance;
     use hems_sim::{FixedVoltageController, LightProfile, SystemConfig};
+    use hems_units::XorShiftRng;
 
     fn small_chain() -> TaskChain {
         TaskChain::new(vec![
@@ -386,6 +443,98 @@ mod tests {
             (accounted - executed).abs() < 1.0,
             "accounted {accounted} vs executed {executed}"
         );
+    }
+
+    #[test]
+    fn commit_stream_is_contiguous_even_under_power_cycling() {
+        // The crash-consistency invariant behind the chaos campaigns: the
+        // observed commit stream is exactly positions 0, 1, 2, … regardless
+        // of how many brownouts interrupt execution.
+        let mut runtime =
+            IntermittentRuntime::new(small_chain(), CheckpointPolicy::EveryTask, NvmModel::fram());
+        let light = LightProfile::clouds(
+            Irradiance::DARK,
+            Irradiance::FULL_SUN,
+            Seconds::from_milli(50.0),
+            Seconds::new(1.0),
+            23,
+        );
+        let mut sim = sim_with(light, 1.0);
+        let mut ctl = FixedVoltageController::new(Volts::new(0.55));
+        let mut events = Vec::new();
+        let report = runtime.run_observed(&mut sim, &mut ctl, Seconds::new(1.0), &mut |e| {
+            events.push(*e)
+        });
+        assert!(report.rollbacks >= 1, "light never failed: {report:?}");
+        assert!(!events.is_empty(), "nothing ever committed");
+        let len = runtime.chain().len();
+        for (expect, event) in events.iter().enumerate() {
+            assert_eq!(
+                event.position(len),
+                expect as u64,
+                "commit stream has a gap, duplicate, or regression: {event:?}"
+            );
+        }
+        // The last event agrees with the final accounting.
+        let last = events[events.len() - 1];
+        let committed = report.chain_completions * len as u64 + report.committed_tasks as u64;
+        assert_eq!(last.position(len) + 1, committed);
+        // Timestamps never move backwards.
+        for pair in events.windows(2) {
+            assert!(pair[1].at >= pair[0].at);
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_and_goodput_bounded_under_adversarial_policies() {
+        // Satellite property test: across seeded random checkpoint policies
+        // and hostile seeded light, forward progress (the committed
+        // position) is monotone within a run, goodput stays in [0, 1], and
+        // the cycle accounting matches what the sim actually executed.
+        let mut rng = XorShiftRng::seed_from_u64(0xC4A0_5EED);
+        for trial in 0..12 {
+            let policy = match rng.below_u32(4) {
+                0 => CheckpointPolicy::EveryTask,
+                1 => CheckpointPolicy::EveryNTasks(1 + rng.below_u32(5) as usize),
+                2 => CheckpointPolicy::OnLowVoltage {
+                    threshold: Volts::new(rng.range_f64(0.55, 1.0)),
+                },
+                _ => CheckpointPolicy::ChainBoundary,
+            };
+            let light = LightProfile::clouds(
+                Irradiance::DARK,
+                Irradiance::new(rng.range_f64(0.1, 1.0)).expect("fraction in range"),
+                Seconds::from_milli(rng.range_f64(20.0, 120.0)),
+                Seconds::new(1.0),
+                rng.next_u64(),
+            );
+            let mut runtime = IntermittentRuntime::new(small_chain(), policy, NvmModel::fram());
+            let mut sim = sim_with(light, rng.range_f64(0.8, 1.1));
+            let mut ctl = FixedVoltageController::new(Volts::new(rng.range_f64(0.55, 0.7)));
+            let len = runtime.chain().len();
+            let mut last_pos = None;
+            let report = runtime.run_observed(&mut sim, &mut ctl, Seconds::new(1.0), &mut |e| {
+                let pos = e.position(len);
+                if let Some(prev) = last_pos {
+                    assert!(pos > prev, "trial {trial}: position {pos} after {prev}");
+                }
+                last_pos = Some(pos);
+            });
+            let goodput = report.goodput();
+            assert!(
+                (0.0..=1.0).contains(&goodput),
+                "trial {trial} ({policy:?}): goodput {goodput} out of [0,1]"
+            );
+            let accounted = report.useful_cycles.count()
+                + report.wasted_cycles.count()
+                + report.checkpoint_cycles.count()
+                + report.in_flight_cycles.count();
+            let executed = sim.total_cycles().count();
+            assert!(
+                (accounted - executed).abs() < 1.0,
+                "trial {trial} ({policy:?}): accounted {accounted} vs executed {executed}"
+            );
+        }
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn baseline_absorbs_at_most_one_finding_per_entry() {
         let finding = Finding::new("unwrap", "x.rs", 1, "call to unwrap");
-        let baseline = Baseline::parse(&Baseline::render(&[finding.clone()]));
+        let baseline = Baseline::parse(&Baseline::render(std::slice::from_ref(&finding)));
         assert_eq!(baseline.len(), 1);
         let again = Finding::new("unwrap", "x.rs", 9, "call to unwrap");
         let (fresh, absorbed) = baseline.partition(vec![finding, again]);

@@ -44,12 +44,14 @@ impl RuleConfig {
 }
 
 /// Service-plane paths held to panic-freedom: the serve crate, the sim
-/// crate's pool/sweep/engine, the core solvers — and this lint crate,
-/// which checks itself.
+/// crate's pool/sweep/engine, the core solvers, the chaos harness (a
+/// fault injector that panics is indistinguishable from a fault) — and
+/// this lint crate, which checks itself.
 pub fn panic_rule_applies(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/lint/src/")
+        || rel.starts_with("crates/chaos/src/")
         || matches!(
             rel,
             "crates/sim/src/pool.rs" | "crates/sim/src/sweep.rs" | "crates/sim/src/engine.rs"

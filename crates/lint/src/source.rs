@@ -101,12 +101,11 @@ fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
                 i = end;
                 continue;
             }
-            (TokenKind::Ident, "mod") => {
+            (TokenKind::Ident, "mod")
                 if next_significant(tokens, i + 1)
-                    .is_some_and(|(_, t)| t.kind == TokenKind::Ident && t.text == "tests")
-                {
-                    pending = true;
-                }
+                    .is_some_and(|(_, t)| t.kind == TokenKind::Ident && t.text == "tests") =>
+            {
+                pending = true;
             }
             (TokenKind::Punct, "{") => {
                 depth += 1;

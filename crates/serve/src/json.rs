@@ -486,4 +486,50 @@ mod tests {
         assert_eq!(value.get("a").and_then(Value::as_f64), Some(1.0));
         assert_eq!(value.get("missing"), None);
     }
+
+    #[test]
+    fn torn_frames_error_at_every_split_and_never_panic() {
+        // The chaos-proxy fault model: a frame torn mid-byte arrives as a
+        // prefix (tear at the boundary) or as a prefix with garbage where
+        // the rest should be (tear plus the next frame's bytes). The
+        // parser must reject every such input with an error — never panic
+        // — and, being stateless per line, must still parse the next
+        // well-formed frame afterwards.
+        let line = crate::proto::Request::render_line(
+            77,
+            crate::proto::QueryKind::Sprint,
+            Some(&{
+                let mut s = crate::proto::ScenarioSpec::baseline(0.42);
+                s.deadline = Some(0.02);
+                s
+            }),
+        );
+        // Every strict prefix of a well-formed object is malformed.
+        for split in 0..line.len() {
+            let torn = &line[..split];
+            if torn.is_char_boundary(split) {
+                assert!(parse(torn).is_err(), "prefix {split} parsed: {torn:?}");
+            }
+            assert!(parse(&line).is_ok(), "intact frame must still parse");
+        }
+        // Seeded random tears and byte splices must never panic, whatever
+        // they decode to.
+        let mut rng = hems_units::XorShiftRng::seed_from_u64(0x70_4E);
+        let bytes = line.as_bytes();
+        for _ in 0..500 {
+            let cut = rng.below_u32(bytes.len() as u32) as usize;
+            let mut mutated = bytes[..cut].to_vec();
+            if rng.below_u32(2) == 0 {
+                // Splice the tail of a *different* frame on, mid-byte.
+                let tail = rng.below_u32(bytes.len() as u32) as usize;
+                mutated.extend_from_slice(&bytes[tail..]);
+            }
+            if !mutated.is_empty() && rng.below_u32(2) == 0 {
+                let flip = rng.below_u32(mutated.len() as u32) as usize;
+                mutated[flip] ^= (1 + rng.below_u32(255)) as u8;
+            }
+            let text = String::from_utf8_lossy(&mutated);
+            let _ = parse(&text); // Ok or Err both fine; panics are not.
+        }
+    }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod json;
 pub mod planner;
 pub mod proto;
@@ -49,6 +50,7 @@ pub mod stats;
 mod sync;
 
 pub use cache::PlanCache;
+pub use client::{Client, ClientError, PlanAnswer, RetryPolicy};
 pub use json::Value;
 pub use proto::{QueryKind, Request, ScenarioSpec};
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -350,8 +350,20 @@ impl Request {
 
     /// Renders a request line (used by clients and benches).
     pub fn render_line(id: i64, kind: QueryKind, scenario: Option<&ScenarioSpec>) -> String {
+        Request::render_line_with_id(&Value::Num(id as f64), kind, scenario)
+    }
+
+    /// [`render_line`](Request::render_line) with an arbitrary JSON id —
+    /// the retrying client correlates by its 64-bit cache key, which does
+    /// not fit losslessly in a JSON number, so it sends the key as a hex
+    /// string instead.
+    pub fn render_line_with_id(
+        id: &Value,
+        kind: QueryKind,
+        scenario: Option<&ScenarioSpec>,
+    ) -> String {
         let mut fields = vec![
-            ("id".to_string(), Value::Num(id as f64)),
+            ("id".to_string(), id.clone()),
             ("query".to_string(), Value::str(kind.as_wire())),
         ];
         if let Some(spec) = scenario {
@@ -410,6 +422,20 @@ pub fn error_response(id: &Value, message: &str) -> String {
         ("id", id.clone()),
         ("status", Value::str("error")),
         ("error", Value::str(message)),
+    ])
+    .render()
+}
+
+/// Renders a *retryable* `error` response line: the request was sound but
+/// the server faulted while answering it (a worker panic). Unlike a plain
+/// `error`, resubmitting the identical request may well succeed, and the
+/// `retryable` flag tells clients so.
+pub fn retryable_error_response(id: &Value, message: &str) -> String {
+    Value::obj(vec![
+        ("id", id.clone()),
+        ("status", Value::str("error")),
+        ("error", Value::str(message)),
+        ("retryable", Value::Bool(true)),
     ])
     .render()
 }

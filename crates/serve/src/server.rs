@@ -39,14 +39,16 @@
 
 use crate::cache::PlanCache;
 use crate::planner::{self, PlanJob};
-use crate::proto::{error_response, ok_response, overloaded_response, QueryKind, Request};
+use crate::proto::{
+    error_response, ok_response, overloaded_response, retryable_error_response, QueryKind, Request,
+};
 use crate::stats::ServeStats;
 use crate::sync::relock;
 use hems_sim::WorkerPool;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -65,6 +67,19 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Longest accepted request line, bytes (DoS guard).
     pub max_line_bytes: usize,
+    /// Per-connection read deadline. A client that stays silent (or drips
+    /// bytes slower than one line per deadline — slow loris) is reaped and
+    /// its handler thread reclaimed. `None` disables the deadline.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: a client that stops draining its
+    /// receive window cannot pin a writer forever. `None` disables it.
+    pub write_timeout: Option<Duration>,
+    /// Deterministic fault injection for chaos campaigns: `Some(n)` makes
+    /// every n-th batched job panic inside the worker pool instead of
+    /// solving. The panic exercises the real isolation path — the slot's
+    /// waiters get a retryable degraded response, the batch survives, the
+    /// `faults` counter ticks. `None` (the default) injects nothing.
+    pub inject_panic_one_in: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +90,9 @@ impl Default for ServeConfig {
             max_queue: 256,
             max_batch: 32,
             max_line_bytes: 64 * 1024,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            inject_panic_one_in: None,
         }
     }
 }
@@ -98,6 +116,9 @@ struct Shared {
     /// Flipped (and broadcast) when the batcher has drained and exited.
     drained_cv: (Mutex<bool>, Condvar),
     pool: WorkerPool,
+    /// Jobs dispatched to the pool so far — the deterministic counter the
+    /// `inject_panic_one_in` chaos hook keys off.
+    jobs_dispatched: AtomicU64,
 }
 
 impl Shared {
@@ -192,6 +213,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Serve
         accepting: AtomicBool::new(true),
         drained_cv: (Mutex::new(false), Condvar::new()),
         pool,
+        jobs_dispatched: AtomicU64::new(0),
         config,
     });
 
@@ -226,25 +248,44 @@ pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Serve
     })
 }
 
+/// Shortest accept-loop poll/backoff step.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cap for the accept-error backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     // Reader threads detach; they exit when their connection closes or
     // shutdown refuses further work. Nonblocking accept lets the acceptor
     // poll the shutdown flag without a self-connect trick.
+    let mut error_backoff = ACCEPT_POLL;
     while shared.accepting.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                error_backoff = ACCEPT_POLL;
                 // One small response line per request: Nagle + delayed ACK
                 // would add ~40 ms to every round trip.
                 let _ = stream.set_nodelay(true);
+                // Deadlines are the slow-loris/half-open defence: a
+                // connection that cannot make a line's progress per
+                // deadline is reaped, not parked forever.
+                let _ = stream.set_read_timeout(shared.config.read_timeout);
+                let _ = stream.set_write_timeout(shared.config.write_timeout);
                 let shared = Arc::clone(shared);
                 let _ = thread::Builder::new()
                     .name("hems-serve-conn".to_string())
                     .spawn(move || connection_loop(stream, &shared));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
+                // Idle poll: fixed short sleep keeps shutdown responsive.
+                thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
+            Err(_) => {
+                // Persistent accept errors (EMFILE, ENOBUFS, …) must not
+                // hot-loop at 200 Hz: back off exponentially to a cap, and
+                // reset on the next successful accept.
+                thread::sleep(error_backoff);
+                error_backoff = (error_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
         }
     }
 }
@@ -300,6 +341,14 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         let line = match read_line_bounded(&mut reader, shared.config.max_line_bytes) {
             Ok(Some(line)) => line,
             Ok(None) => return, // clean EOF
+            Err(e) if is_timeout(&e) => {
+                // Read deadline expired: an idle, half-open, or slow-loris
+                // connection. Reap it quietly — the close *is* the signal,
+                // and writing into a stalled socket could itself block
+                // until the write deadline.
+                shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(_) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 write_line(
@@ -422,6 +471,16 @@ fn ok_line(id: &crate::json::Value, cached: bool, rendered_result: &str) -> Stri
     line
 }
 
+/// `true` for the error kinds a socket deadline produces. Linux surfaces
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as `WouldBlock`; other platforms use
+/// `TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn elapsed_ns(started: Instant) -> f64 {
     started.elapsed().as_nanos() as f64
 }
@@ -466,17 +525,35 @@ fn batch_loop(shared: &Arc<Shared>) {
         // that key's waiters get an error response and every other job
         // in the batch (and the pool itself) carries on.
         let keys: Vec<u64> = jobs.iter().map(|job| job.key).collect();
+        let inject: Vec<bool> = jobs
+            .iter()
+            .map(|_| {
+                let nth = shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed) + 1;
+                shared
+                    .config
+                    .inject_panic_one_in
+                    .is_some_and(|n| n > 0 && nth.is_multiple_of(n))
+            })
+            .collect();
         let answers = shared.pool.run_jobs_result(
             jobs.into_iter()
-                .map(|job| move || planner::answer(&job))
+                .zip(inject)
+                .map(|(job, inject)| {
+                    move || {
+                        if inject {
+                            // hems-lint: allow(panic, reason = "chaos hook: opt-in injected worker fault, caught by run_jobs_result")
+                            panic!("chaos: injected worker fault");
+                        }
+                        planner::answer(&job)
+                    }
+                })
                 .collect::<Vec<_>>(),
         );
 
         for (key, outcome) in keys.into_iter().zip(answers) {
             let pendings = waiters.remove(&key).unwrap_or_default();
-            let answer = outcome.unwrap_or_else(|panic| Err(format!("internal error: {panic}")));
-            match answer {
-                Ok(result) => {
+            match outcome {
+                Ok(Ok(result)) => {
                     let rendered = result.render();
                     shared.cache.insert(key, rendered.clone());
                     for p in pendings {
@@ -484,12 +561,27 @@ fn batch_loop(shared: &Arc<Shared>) {
                         shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
                     }
                 }
-                Err(message) => {
-                    // Errors are not cached: a transiently infeasible plan
-                    // (e.g. a race on darkness) should not poison the key.
+                Ok(Err(message)) => {
+                    // A semantic failure (malformed scenario, infeasible
+                    // plan): resubmitting the same request cannot succeed,
+                    // so the error is terminal. Not cached — a transiently
+                    // infeasible plan (e.g. a race on darkness) should not
+                    // poison the key.
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                     for p in pendings {
                         write_line(&p.conn, &error_response(&p.id, &message));
+                        shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
+                    }
+                }
+                Err(panic) => {
+                    // A worker panic is a *fault*, not a verdict about the
+                    // request: only this key's waiters degrade (the rest of
+                    // the batch already has answers) and the response is
+                    // marked retryable so a well-behaved client resubmits.
+                    shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+                    let message = format!("internal fault: {}", panic.message());
+                    for p in pendings {
+                        write_line(&p.conn, &retryable_error_response(&p.id, &message));
                         shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
                     }
                 }
@@ -512,6 +604,7 @@ mod tests {
             max_queue: 64,
             max_batch: 8,
             max_line_bytes: 16 * 1024,
+            ..ServeConfig::default()
         }
     }
 
@@ -557,6 +650,102 @@ mod tests {
         // Same connection still answers good queries.
         let ok = query_line(&mut stream, r#"{"id":6,"query":"stats"}"#);
         assert_eq!(ok.get("status").and_then(Value::as_str), Some("ok"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_by_the_read_deadline() {
+        let config = ServeConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            ..small_config()
+        };
+        let mut handle = serve("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Say nothing. The server must hang up on its own; without the
+        // deadline this read would block forever (the old slow-loris bug).
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let n = stream.read(&mut buf).expect("server closed cleanly");
+        assert_eq!(n, 0, "reap is a plain close, not an error frame");
+        let stats = handle.stats_snapshot();
+        assert_eq!(stats.get("reaped").and_then(Value::as_f64), Some(1.0));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn torn_frame_gets_an_error_and_the_next_frame_still_parses() {
+        let mut handle = serve("127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // A frame torn mid-byte but newline-terminated: the parser must
+        // reject it without killing the connection.
+        let torn = query_line(&mut stream, r#"{"id":8,"query":"mep","scenario":{"irr"#);
+        assert_eq!(torn.get("status").and_then(Value::as_str), Some("error"));
+        let ok = query_line(&mut stream, r#"{"id":9,"query":"stats"}"#);
+        assert_eq!(ok.get("status").and_then(Value::as_str), Some("ok"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fragmented_frames_reassemble_within_the_deadline() {
+        let config = ServeConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            ..small_config()
+        };
+        let mut handle = serve("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let line = format!(
+            "{}\n",
+            Request::render_line(3, QueryKind::Mep, Some(&ScenarioSpec::baseline(0.3)))
+        );
+        // Drip the request a few bytes at a time (a slow but honest
+        // client); the per-line reader must reassemble it.
+        for chunk in line.as_bytes().chunks(7) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            thread::sleep(Duration::from_millis(2));
+        }
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let value = parse(&response).unwrap();
+        assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_faults_degrade_to_retryable_errors() {
+        let config = ServeConfig {
+            inject_panic_one_in: Some(2), // every 2nd batched job panics
+            ..small_config()
+        };
+        let mut handle = serve("127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let first = query_line(
+            &mut stream,
+            &Request::render_line(1, QueryKind::Mep, Some(&ScenarioSpec::baseline(0.5))),
+        );
+        assert_eq!(first.get("status").and_then(Value::as_str), Some("ok"));
+        // A distinct scenario forces a second solve: job #2 panics in the
+        // pool, and the waiter gets a retryable degraded response instead
+        // of a dead connection or a dead server.
+        let second = query_line(
+            &mut stream,
+            &Request::render_line(2, QueryKind::Mep, Some(&ScenarioSpec::baseline(0.6))),
+        );
+        assert_eq!(second.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(second.get("retryable").and_then(Value::as_bool), Some(true));
+        // The batch pipeline survived the panic.
+        let stats = query_line(&mut stream, r#"{"id":3,"query":"stats"}"#);
+        assert_eq!(stats.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(
+            stats
+                .get("result")
+                .and_then(|r| r.get("faults"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
         handle.shutdown();
     }
 

@@ -36,6 +36,10 @@ pub struct ServeStats {
     pub overloaded: AtomicU64,
     /// Requests answered with `status: error`.
     pub errors: AtomicU64,
+    /// Worker-pool panics answered with a retryable degraded response.
+    pub faults: AtomicU64,
+    /// Connections reaped by the read deadline (idle/slow-loris).
+    pub reaped: AtomicU64,
     /// Batches executed.
     pub batches: AtomicU64,
     /// Jobs executed across all batches (after in-batch dedup).
@@ -54,6 +58,8 @@ impl ServeStats {
             misses: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
@@ -115,6 +121,8 @@ impl ServeStats {
             ("misses", load(&self.misses)),
             ("overloaded", load(&self.overloaded)),
             ("errors", load(&self.errors)),
+            ("faults", load(&self.faults)),
+            ("reaped", load(&self.reaped)),
             ("batches", load(&self.batches)),
             ("batched_jobs", load(&self.batched_jobs)),
             ("max_batch", load(&self.max_batch)),

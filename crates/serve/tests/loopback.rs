@@ -177,6 +177,7 @@ fn saturated_queue_answers_overloaded_instead_of_hanging() {
             max_queue: 2,
             max_batch: 2,
             max_line_bytes: 16 * 1024,
+            ..ServeConfig::default()
         },
     )
     .expect("bind");

@@ -56,6 +56,16 @@ pub enum LightProfile {
         /// Pre-sampled walk values (deterministic, derived from the seed).
         samples: Vec<f64>,
     },
+    /// A base profile with scheduled total blackouts overlaid — the fault
+    /// injection hook: inside any `[start, end)` window the irradiance is
+    /// forced dark regardless of the base profile, so a chaos campaign can
+    /// provoke a brownout at an exact, reproducible time.
+    Outages {
+        /// The profile in effect outside the outage windows.
+        base: Box<LightProfile>,
+        /// Half-open `[start, end)` blackout windows, sorted by start.
+        windows: Vec<(Seconds, Seconds)>,
+    },
 }
 
 impl LightProfile {
@@ -128,6 +138,26 @@ impl LightProfile {
         }
     }
 
+    /// Overlays scheduled blackout windows on `base`: inside any
+    /// `[start, end)` window the light is [`Irradiance::DARK`], outside it
+    /// the base profile applies unchanged. Windows are sorted by start;
+    /// overlapping windows are allowed (their union goes dark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any window has `end <= start` or a negative start.
+    pub fn with_outages(base: LightProfile, mut windows: Vec<(Seconds, Seconds)>) -> LightProfile {
+        for (start, end) in &windows {
+            assert!(*end > *start, "outage window is empty or inverted");
+            assert!(*start >= Seconds::ZERO, "outage window starts before t=0");
+        }
+        windows.sort_by(|a, b| a.0.value().total_cmp(&b.0.value()));
+        LightProfile::Outages {
+            base: Box::new(base),
+            windows,
+        }
+    }
+
     /// The irradiance at time `t` (clamped to `t = 0` for negative times).
     pub fn at(&self, t: Seconds) -> Irradiance {
         let t = t.max(Seconds::ZERO);
@@ -170,6 +200,13 @@ impl LightProfile {
                 let frac = pos - pos.floor();
                 let level = samples[i] + (samples[j] - samples[i]) * frac;
                 Irradiance::new(level.clamp(0.0, 2.0)).expect("clamped level is valid")
+            }
+            LightProfile::Outages { base, windows } => {
+                if windows.iter().any(|(start, end)| t >= *start && t < *end) {
+                    Irradiance::DARK
+                } else {
+                    base.at(t)
+                }
             }
         }
     }
@@ -265,6 +302,50 @@ mod tests {
             Seconds::from_milli(1.0),
         );
         assert_eq!(p.at(Seconds::new(-5.0)), Irradiance::FULL_SUN);
+    }
+
+    #[test]
+    fn outages_force_darkness_inside_their_windows_only() {
+        let base = LightProfile::constant(Irradiance::FULL_SUN);
+        let p = LightProfile::with_outages(
+            base,
+            vec![
+                (Seconds::from_milli(30.0), Seconds::from_milli(40.0)),
+                (Seconds::from_milli(10.0), Seconds::from_milli(20.0)),
+            ],
+        );
+        assert_eq!(p.at(Seconds::from_milli(5.0)), Irradiance::FULL_SUN);
+        assert_eq!(p.at(Seconds::from_milli(10.0)), Irradiance::DARK);
+        assert_eq!(p.at(Seconds::from_milli(19.999)), Irradiance::DARK);
+        assert_eq!(p.at(Seconds::from_milli(20.0)), Irradiance::FULL_SUN);
+        assert_eq!(p.at(Seconds::from_milli(35.0)), Irradiance::DARK);
+        assert_eq!(p.at(Seconds::from_milli(40.0)), Irradiance::FULL_SUN);
+    }
+
+    #[test]
+    fn outages_compose_with_a_dynamic_base_profile() {
+        let base = LightProfile::ramp(
+            Irradiance::DARK,
+            Irradiance::FULL_SUN,
+            Seconds::ZERO,
+            Seconds::new(1.0),
+        );
+        let faulted =
+            LightProfile::with_outages(base.clone(), vec![(Seconds::new(0.4), Seconds::new(0.5))]);
+        // Outside the window the ramp is untouched.
+        assert_eq!(faulted.at(Seconds::new(0.2)), base.at(Seconds::new(0.2)));
+        assert_eq!(faulted.at(Seconds::new(0.8)), base.at(Seconds::new(0.8)));
+        // Inside it the light is dark no matter what the base says.
+        assert_eq!(faulted.at(Seconds::new(0.45)), Irradiance::DARK);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn outage_windows_validate_their_bounds() {
+        let _ = LightProfile::with_outages(
+            LightProfile::constant(Irradiance::FULL_SUN),
+            vec![(Seconds::new(1.0), Seconds::new(1.0))],
+        );
     }
 
     #[test]

@@ -441,7 +441,8 @@ mod tests {
         let grid = small_grid();
         let scenarios = grid.scenarios().unwrap();
         assert_eq!(scenarios.len(), grid.len());
-        assert_eq!(grid.len(), 2 * 1 * 2 * 2);
+        // 2 irradiances x 1 regulator x 2 capacitances x 2 policies.
+        assert_eq!(grid.len(), 8);
         for (i, s) in scenarios.iter().enumerate() {
             assert_eq!(s.index, i);
         }

@@ -19,7 +19,7 @@ echo "== lint: rustfmt =="
 cargo fmt --check
 
 echo "== lint: clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== lint: hems-lint =="
 # The repo's own static-analysis gate (DESIGN.md §10): panic-freedom on
@@ -33,6 +33,13 @@ cargo run --release -q -p hems-lint
 cargo run --release -q -p hems-lint -- --json | tail -1 | grep -q '"summary":true' \
     || { echo "verify: hems-lint --json summary line missing" >&2; exit 1; }
 
+echo "== chaos: seeded campaign (writes BENCH_chaos.json) =="
+# Fixed-seed smoke campaign (DESIGN.md §11): brownouts at checkpoint
+# boundaries, worker-pool panics, and torn/dropped/slow connections
+# through the chaos proxy. The bin exits nonzero if any injected fault
+# goes unrecovered; the report is byte-for-byte reproducible per seed.
+cargo run --release -q -p hems-chaos -- --seed 7 --smoke --out BENCH_chaos.json > /dev/null
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 
@@ -41,7 +48,7 @@ HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-serve --bench serve
 
 # The serve bench self-validates its report with the crate's own JSON
 # parser before exiting; double-check the files landed where the docs say.
-for report in BENCH_sweep.json BENCH_serve.json; do
+for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json; do
     [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
 done
 
