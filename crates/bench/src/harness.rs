@@ -7,8 +7,11 @@
 //!
 //! Methodology: each *sample* times a batch of `batch` calls, where
 //! `batch` is auto-calibrated during warmup so one batch spans at least
-//! ~1 ms (per-call `Instant` overhead would otherwise dominate fast
-//! functions like table lookups). Statistics are computed over per-call
+//! ~1 ms (per-call timer overhead would otherwise dominate fast
+//! functions like table lookups). Timestamps come from
+//! `hems_obs::clock::monotonic_ns` — the workspace's single wall-clock
+//! choke point (enforced by the `clock` lint rule), so the bench numbers
+//! and the telemetry spans share one clock. Statistics are computed over per-call
 //! times (`batch_elapsed / batch`); the median is the headline number —
 //! robust to the occasional scheduler hiccup a p95 exists to expose.
 //!
@@ -16,8 +19,8 @@
 //! sample of one call, no warmup — CI checks that every bench *runs*
 //! without paying for statistics.
 
+use hems_obs::clock::monotonic_ns;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Target minimum duration of one timed batch, in nanoseconds.
 const MIN_BATCH_NS: f64 = 1e6;
@@ -120,11 +123,11 @@ impl Harness {
         if !self.smoke {
             // Calibrate the batch so one sample spans >= MIN_BATCH_NS.
             loop {
-                let t = Instant::now();
+                let t = monotonic_ns();
                 for _ in 0..batch {
                     black_box(f());
                 }
-                let ns = t.elapsed().as_nanos() as f64;
+                let ns = monotonic_ns().saturating_sub(t) as f64;
                 if ns >= MIN_BATCH_NS || batch >= MAX_BATCH {
                     break;
                 }
@@ -133,20 +136,20 @@ impl Harness {
                 batch = (batch * scale.max(2)).min(MAX_BATCH);
             }
             for _ in 0..self.warmup_samples {
-                let t = Instant::now();
+                let t = monotonic_ns();
                 for _ in 0..batch {
                     black_box(f());
                 }
-                black_box(t.elapsed());
+                black_box(monotonic_ns().saturating_sub(t));
             }
         }
         let mut per_call: Vec<f64> = (0..self.samples)
             .map(|_| {
-                let t = Instant::now();
+                let t = monotonic_ns();
                 for _ in 0..batch {
                     black_box(f());
                 }
-                t.elapsed().as_nanos() as f64 / batch as f64
+                monotonic_ns().saturating_sub(t) as f64 / batch as f64
             })
             .collect();
         per_call.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));

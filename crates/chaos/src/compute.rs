@@ -11,6 +11,7 @@
 use crate::error::ChaosError;
 use crate::plan::CampaignConfig;
 use hems_core::cachekey::KeyHasher;
+use hems_obs::Registry;
 use hems_serve::json::Value;
 use hems_sim::WorkerPool;
 use std::thread;
@@ -48,13 +49,16 @@ fn expected(round: u64, slot: u64) -> u64 {
     hasher.finish()
 }
 
-/// Runs the compute campaign.
+/// Runs the compute campaign. Fault tallies are double-entried into
+/// `registry` (`chaos.compute.injected` / `chaos.compute.recovered`).
 ///
 /// # Errors
 ///
 /// Errors only if the pool cannot be built; isolation failures are
 /// reported in the lines.
-pub fn run(config: &CampaignConfig) -> Result<ComputeReport, ChaosError> {
+pub fn run(config: &CampaignConfig, registry: &Registry) -> Result<ComputeReport, ChaosError> {
+    let injected_counter = registry.counter("chaos.compute.injected");
+    let recovered_counter = registry.counter("chaos.compute.recovered");
     let pool = WorkerPool::with_default_threads(Some(4));
     let mut rng = config.plan().stream("compute");
     let mut lines = Vec::new();
@@ -105,9 +109,11 @@ pub fn run(config: &CampaignConfig) -> Result<ComputeReport, ChaosError> {
             }
         }
         injected += panics;
+        injected_counter.add(panics);
         let isolated = caught == panics && wrong == 0 && outcomes.len() == faults.len();
         if isolated {
             recovered += panics;
+            recovered_counter.add(panics);
         }
         lines.push(Value::obj(vec![
             ("surface", Value::str("compute")),
@@ -132,9 +138,15 @@ mod tests {
 
     #[test]
     fn repeated_concurrent_panics_stay_isolated() {
-        let report = run(&CampaignConfig::smoke(7)).expect("campaign runs");
+        let registry = Registry::new();
+        let report = run(&CampaignConfig::smoke(7), &registry).expect("campaign runs");
         assert!(report.injected > 0, "the seed must inject at least once");
         assert_eq!(report.injected, report.recovered, "{:?}", report.lines);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("chaos.compute.injected"),
+            Some(report.injected)
+        );
     }
 
     #[test]

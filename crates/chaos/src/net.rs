@@ -31,6 +31,7 @@
 
 use crate::error::ChaosError;
 use crate::plan::CampaignConfig;
+use hems_obs::Registry;
 use hems_serve::client::{Client, RetryPolicy};
 use hems_serve::json::Value;
 use hems_serve::proto::{QueryKind, Request, ScenarioSpec};
@@ -412,13 +413,14 @@ pub struct NetReport {
     pub serve_panics: u64,
 }
 
-/// Runs the I/O campaign.
+/// Runs the I/O campaign. Fault tallies are double-entried into
+/// `registry` (`chaos.net.injected` / `chaos.net.recovered`).
 ///
 /// # Errors
 ///
 /// Errors when the harness itself cannot start (bind/spawn failures) —
 /// not when injected faults bite.
-pub fn run(config: &CampaignConfig) -> Result<NetReport, ChaosError> {
+pub fn run(config: &CampaignConfig, registry: &Registry) -> Result<NetReport, ChaosError> {
     install_panic_probe();
     let panics_before = SERVE_PANICS.load(Ordering::SeqCst);
     let read_timeout = Duration::from_millis(config.net_read_timeout_ms);
@@ -493,6 +495,8 @@ pub fn run(config: &CampaignConfig) -> Result<NetReport, ChaosError> {
         .saturating_sub(failed)
         .saturating_sub(attacks - attacks_survived)
         .saturating_sub(serve_panics);
+    registry.counter("chaos.net.injected").add(injected);
+    registry.counter("chaos.net.recovered").add(recovered);
     lines.push(Value::obj(vec![
         ("surface", Value::str("net")),
         ("phase", Value::str("summary")),
@@ -509,7 +513,11 @@ pub fn run(config: &CampaignConfig) -> Result<NetReport, ChaosError> {
         ("requests", Value::Num(counter("requests"))),
         ("hits", Value::Num(counter("hits"))),
         ("misses", Value::Num(counter("misses"))),
-        ("reaped", Value::Num(counter("reaped"))),
+        // Likewise the raw reap *count* is load-sensitive — on a
+        // saturated box an idle-but-healthy connection can trip the read
+        // deadline alongside the slow loris — so the report keeps only
+        // the seed-deterministic fact: at least one socket was reaped.
+        ("loris_reaped", Value::Bool(counter("reaped") >= 1.0)),
         ("overloaded", Value::Num(counter("overloaded"))),
         ("drained", Value::Bool(true)),
     ]));
@@ -528,7 +536,7 @@ mod tests {
 
     #[test]
     fn mixed_campaign_converges_with_zero_server_panics() {
-        let report = run(&CampaignConfig::smoke(7)).expect("campaign runs");
+        let report = run(&CampaignConfig::smoke(7), &Registry::new()).expect("campaign runs");
         assert_eq!(report.serve_panics, 0, "{:?}", report.lines);
         assert_eq!(
             report.injected, report.recovered,
@@ -541,8 +549,9 @@ mod tests {
             Some(0.0),
             "every healthy request answered"
         );
-        assert!(
-            summary.get("reaped").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0,
+        assert_eq!(
+            summary.get("loris_reaped").and_then(Value::as_bool),
+            Some(true),
             "the slow loris was reaped"
         );
     }

@@ -21,6 +21,7 @@ use hems_core::cachekey::KeyHasher;
 use hems_intermittent::{
     CheckpointPolicy, CommitEvent, IntermittentRuntime, NvmModel, Task, TaskChain,
 };
+use hems_obs::Registry;
 use hems_pv::Irradiance;
 use hems_serve::json::Value;
 use hems_sim::{FixedVoltageController, LightProfile, Simulation, SystemConfig};
@@ -72,14 +73,19 @@ fn digest(events: &[CommitEvent]) -> u64 {
     hasher.finish()
 }
 
-/// Runs the power campaign.
+/// Runs the power campaign. Fault tallies are double-entried into
+/// `registry` (`chaos.power.injected` / `chaos.power.recovered`) so the
+/// campaign summary reads its counts back from the shared telemetry
+/// registry.
 ///
 /// # Errors
 ///
 /// Errors only when the campaign itself cannot run (invalid reference
 /// setup, or a reference run that is not fault-free); injected-fault
 /// failures are reported in the returned lines, not as errors.
-pub fn run(config: &CampaignConfig) -> Result<PowerReport, ChaosError> {
+pub fn run(config: &CampaignConfig, registry: &Registry) -> Result<PowerReport, ChaosError> {
+    let injected_counter = registry.counter("chaos.power.injected");
+    let recovered_counter = registry.counter("chaos.power.recovered");
     let plan = config.plan();
     let chain = reference_chain()?;
     let duration = Seconds::from_milli(25.0);
@@ -144,6 +150,7 @@ pub fn run(config: &CampaignConfig) -> Result<PowerReport, ChaosError> {
                 events.push(*e)
             });
         injected += 1;
+        injected_counter.inc();
 
         let brownouts = sim.events().brownouts();
         let caught_up = events.len() >= reference.len();
@@ -157,6 +164,7 @@ pub fn run(config: &CampaignConfig) -> Result<PowerReport, ChaosError> {
         let ok = brownouts >= 1 && prefix_match && resumed;
         if ok {
             recovered += 1;
+            recovered_counter.inc();
         }
         lines.push(Value::obj(vec![
             ("surface", Value::str("power")),
@@ -187,9 +195,16 @@ mod tests {
     #[test]
     fn every_boundary_brownout_is_crash_consistent() {
         let config = CampaignConfig::smoke(7);
-        let report = run(&config).expect("campaign runs");
+        let registry = Registry::new();
+        let report = run(&config, &registry).expect("campaign runs");
         assert_eq!(report.injected, report.recovered, "{:?}", report.lines);
         assert!(report.injected >= 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("chaos.power.injected"), Some(report.injected));
+        assert_eq!(
+            snap.counter("chaos.power.recovered"),
+            Some(report.recovered)
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use crate::error::ChaosError;
 use crate::plan::CampaignConfig;
 use crate::{compute, net, power};
+use hems_obs::{ManualClock, Registry};
 use hems_serve::json::{parse, Value};
+use std::sync::Arc;
 
 /// A finished campaign.
 #[derive(Debug)]
@@ -87,12 +89,39 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     // Quietens the intentionally injected panics (and counts any genuine
     // server-side ones) for every surface, not just net.
     net::install_panic_probe();
-    let power = power::run(config)?;
-    let compute = compute::run(config)?;
-    let net = net::run(config)?;
+    // One fresh registry per campaign, on a manual clock pinned to zero:
+    // fault counters accumulate here (not in the process-global registry,
+    // which would double-count across same-seed runs in one process), and
+    // the snapshot's `at_ns` stays byte-identical under a fixed seed.
+    let registry = Registry::with_clock(Arc::new(ManualClock::new(0)));
+    let power = power::run(config, &registry)?;
+    let compute = compute::run(config, &registry)?;
+    let net = net::run(config, &registry)?;
 
-    let injected = power.injected + compute.injected + net.injected;
-    let recovered = power.recovered + compute.recovered + net.recovered;
+    // The summary's fault counts come from the shared registry, not the
+    // per-surface structs — the snapshot below *is* the ledger.
+    let obs = registry.snapshot();
+    let count = |name: &str| obs.counter(name).unwrap_or(0);
+    let surfaces: Vec<Value> = ["power", "compute", "net"]
+        .iter()
+        .map(|surface| {
+            surface_summary(
+                surface,
+                count(&format!("chaos.{surface}.injected")),
+                count(&format!("chaos.{surface}.recovered")),
+            )
+        })
+        .collect();
+    let injected: u64 = ["power", "compute", "net"]
+        .iter()
+        .map(|s| count(&format!("chaos.{s}.injected")))
+        .sum();
+    let recovered: u64 = ["power", "compute", "net"]
+        .iter()
+        .map(|s| count(&format!("chaos.{s}.recovered")))
+        .sum();
+    let obs_value = parse(&obs.render())
+        .map_err(|e| ChaosError::new("report: obs snapshot round-trip", e.to_string()))?;
     let mut lines = Vec::new();
     lines.extend(power.lines);
     lines.extend(compute.lines);
@@ -101,14 +130,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     let summary = Value::obj(vec![
         ("bench", Value::str("chaos")),
         ("seed", Value::Num(config.seed as f64)),
-        (
-            "surfaces",
-            Value::Arr(vec![
-                surface_summary("power", power.injected, power.recovered),
-                surface_summary("compute", compute.injected, compute.recovered),
-                surface_summary("net", net.injected, net.recovered),
-            ]),
-        ),
+        ("surfaces", Value::Arr(surfaces)),
         ("injected", Value::Num(injected as f64)),
         ("recovered", Value::Num(recovered as f64)),
         (
@@ -117,6 +139,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
         ),
         ("survival_rate", Value::Num(rate(recovered, injected))),
         ("serve_panics", Value::Num(net.serve_panics as f64)),
+        ("obs", obs_value),
     ]);
     lines.push(Value::obj(vec![
         ("surface", Value::str("campaign")),
@@ -142,6 +165,21 @@ mod tests {
         let config = CampaignConfig::smoke(7);
         let first = run_campaign(&config).expect("first run");
         assert_eq!(first.unrecovered(), 0, "{}", first.summary.render());
+        // The summary embeds the campaign's obs snapshot, and its counts
+        // agree with the headline numbers (they are the same ledger).
+        let obs = first.summary.get("obs").expect("obs snapshot in summary");
+        let series = obs.get("series").expect("series object");
+        let injected_sum: f64 = ["power", "compute", "net"]
+            .iter()
+            .map(|s| {
+                series
+                    .get(&format!("chaos.{s}.injected"))
+                    .and_then(|v| v.get("value"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(injected_sum, first.injected as f64);
         let text_a = first.render_lines().expect("render");
         let second = run_campaign(&config).expect("second run");
         let text_b = second.render_lines().expect("render");

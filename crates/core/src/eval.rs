@@ -21,6 +21,27 @@ use hems_cpu::{CpuLut, Microprocessor};
 use hems_pv::{Mpp, PvError, PvLut, SolarCell};
 use hems_units::{Hertz, Joules, Volts, Watts};
 
+/// LUT hit/miss telemetry on the process-global registry (DESIGN.md
+/// §12): a *hit* is a query answered from a table, a *miss* is one
+/// that fell back to (or deliberately chose) the exact device model.
+/// Counted on the dominant solver queries — PV power-at-voltage and
+/// CPU max-frequency — so the sweeps' fast-path/exact-path mix shows
+/// up in `metrics` snapshots without instrumenting every accessor.
+mod obs {
+    use std::sync::LazyLock;
+
+    use hems_obs::{global, Counter};
+
+    pub(super) static PV_HITS: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("core.lut.pv_hits"));
+    pub(super) static PV_MISSES: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("core.lut.pv_misses"));
+    pub(super) static CPU_HITS: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("core.lut.cpu_hits"));
+    pub(super) static CPU_MISSES: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("core.lut.cpu_misses"));
+}
+
 /// A photovoltaic source the solvers can query: either the exact
 /// [`SolarCell`] (implicit single-diode solve per call) or a [`PvLut`]
 /// (table lookup per call).
@@ -41,6 +62,7 @@ pub trait PvSource {
 
 impl PvSource for SolarCell {
     fn source_power(&self, v: Volts) -> Watts {
+        obs::PV_MISSES.inc();
         self.power_at(v)
     }
 
@@ -55,6 +77,7 @@ impl PvSource for SolarCell {
 
 impl PvSource for PvLut {
     fn source_power(&self, v: Volts) -> Watts {
+        obs::PV_HITS.inc();
         self.power_at(v)
     }
 
@@ -108,6 +131,7 @@ impl CpuEval for Microprocessor {
     }
 
     fn fmax(&self, vdd: Volts) -> Hertz {
+        obs::CPU_MISSES.inc();
         self.max_frequency(vdd)
     }
 
@@ -130,6 +154,7 @@ impl CpuEval for CpuLut {
     }
 
     fn fmax(&self, vdd: Volts) -> Hertz {
+        obs::CPU_HITS.inc();
         self.max_frequency(vdd)
     }
 

@@ -15,7 +15,11 @@
 //! 3. **Determinism** (`timing`) — solver/sim code must not read clocks,
 //!    sleep, or read the environment; bit-identical replays are a
 //!    correctness contract (serial/parallel sweep parity).
-//! 4. **Crate hygiene** (`hygiene`) — crate roots carry
+//! 4. **Clock discipline** (`clock`) — no raw `Instant::now()` /
+//!    `SystemTime::now()` outside `hems_obs::clock`; every timestamp in
+//!    the workspace flows through the telemetry clock (DESIGN.md §12),
+//!    so deterministic replays can swap in a manual clock.
+//! 5. **Crate hygiene** (`hygiene`) — crate roots carry
 //!    `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`; public
 //!    `*Error` types implement `Display` + `std::error::Error`.
 //!

@@ -15,8 +15,8 @@ use std::collections::HashMap;
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`unwrap`, `index`, `units`, `timing`, `hygiene`,
-    /// or `directive` for malformed allow directives).
+    /// Rule identifier (`unwrap`, `index`, `units`, `timing`, `clock`,
+    /// `hygiene`, or `directive` for malformed allow directives).
     pub rule: String,
     /// Workspace-relative path with `/` separators.
     pub file: String,

@@ -1,4 +1,4 @@
-//! The four rule families.
+//! The five rule families.
 //!
 //! 1. **panic-freedom** (`panic`, `index`) — no `unwrap`/`expect`/
 //!    `panic!`/`unreachable!`/`todo!`/`unimplemented!` and no direct
@@ -8,7 +8,10 @@
 //! 3. **determinism** (`timing`) — no `Instant`, `SystemTime`,
 //!    `thread::sleep`, or environment reads inside solver/sim code
 //!    outside the timing allowlist.
-//! 4. **crate hygiene** (`hygiene`) — crate roots carry
+//! 4. **clock discipline** (`clock`) — no raw `Instant::now()` /
+//!    `SystemTime::now()` anywhere but `hems_obs::clock`, the workspace's
+//!    single timestamp choke point (DESIGN.md §12).
+//! 5. **crate hygiene** (`hygiene`) — crate roots carry
 //!    `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`, and every
 //!    public `*Error` type implements `Display` and `std::error::Error`.
 //!
@@ -52,6 +55,7 @@ pub fn panic_rule_applies(rel: &str) -> bool {
         || rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/lint/src/")
         || rel.starts_with("crates/chaos/src/")
+        || rel.starts_with("crates/obs/src/")
         || matches!(
             rel,
             "crates/sim/src/pool.rs" | "crates/sim/src/sweep.rs" | "crates/sim/src/engine.rs"
@@ -70,6 +74,14 @@ pub fn units_rule_applies(rel: &str) -> bool {
 /// time on purpose.
 pub fn timing_rule_applies(rel: &str) -> bool {
     rel.starts_with("crates/core/src/") || rel.starts_with("crates/sim/src/")
+}
+
+/// Every scanned path except the one module allowed to read the wall
+/// clock: `hems_obs::clock`, the single timestamp choke point the rest
+/// of the workspace draws from (via `monotonic_ns()` or a `Clock`
+/// handle).
+pub fn clock_rule_applies(rel: &str) -> bool {
+    rel != "crates/obs/src/clock.rs"
 }
 
 /// `true` for crate-root files that must carry the hygiene attributes.
@@ -110,6 +122,9 @@ pub fn check_file(file: &SourceFile, cfg: &RuleConfig) -> (Vec<Finding>, ErrorTy
     }
     if timing_rule_applies(&file.rel_path) {
         scan_timing(file, cfg, &mut findings);
+    }
+    if clock_rule_applies(&file.rel_path) {
+        scan_clock(file, &mut findings);
     }
     if is_crate_root(&file.rel_path) {
         scan_root_attributes(file, &mut findings);
@@ -408,6 +423,38 @@ fn scan_timing(file: &SourceFile, cfg: &RuleConfig, findings: &mut Vec<Finding>)
     }
 }
 
+fn scan_clock(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_comment()
+            || file.in_test.get(i).copied().unwrap_or(false)
+            || !(token.kind == TokenKind::Ident && token.text == "now")
+        {
+            continue;
+        }
+        let source = if is_path_call(tokens, i, "Instant") {
+            "Instant::now()"
+        } else if is_path_call(tokens, i, "SystemTime") {
+            "SystemTime::now()"
+        } else {
+            continue;
+        };
+        push_unless_allowed(
+            file,
+            findings,
+            Finding::new(
+                "clock",
+                &file.rel_path,
+                token.line,
+                format!(
+                    "raw `{source}` outside `hems_obs::clock`; \
+                     use `hems_obs::clock::monotonic_ns()` or a `Clock` handle"
+                ),
+            ),
+        );
+    }
+}
+
 /// `true` when the ident at `i` is preceded by `<prefix>::` (path call).
 fn is_path_call(tokens: &[Token], i: usize, prefix: &str) -> bool {
     let Some((c1, colon1)) = prev_significant(tokens, i) else {
@@ -655,13 +702,21 @@ mod tests {
     #[test]
     fn timing_rule_fires_on_clock_sleep_and_env_reads() {
         let rel = "crates/sim/src/demo.rs";
+        // `Instant::now()` in sim code additionally trips the clock rule,
+        // so filter to the family under test here.
+        let timing = |rel: &str, src: &str| -> Vec<Finding> {
+            check(rel, src)
+                .into_iter()
+                .filter(|f| f.rule == "timing")
+                .collect()
+        };
         for (src, needle) in [
             ("fn f() { let t = Instant::now(); }", "Instant"),
             ("fn f() { let t = SystemTime::now(); }", "SystemTime"),
             ("fn f() { thread::sleep(d); }", "sleep"),
             ("fn f() { let v = std::env::var(\"X\"); }", "env::var"),
         ] {
-            let findings = check(rel, src);
+            let findings = timing(rel, src);
             assert_eq!(findings.len(), 1, "{src}");
             assert!(findings[0].message.contains(needle), "{src}");
         }
@@ -670,13 +725,44 @@ mod tests {
         // `sleep` as domain vocabulary (processor sleep states) is fine.
         assert!(check(rel, "fn f() { cpu.sleep(); let sleep = mode; }").is_empty());
         // The serve crate's latency code is exempt by path.
-        assert!(check("crates/serve/src/stats.rs", "fn f() { Instant::now(); }").is_empty());
+        assert!(timing("crates/serve/src/stats.rs", "fn f() { Instant::now(); }").is_empty());
         // Allowlist exemptions: per-ident and whole-file.
         let mut cfg = RuleConfig::default();
         cfg.timing_allow
             .insert("crates/sim/src/demo.rs::var".to_string());
         let file = SourceFile::parse(rel, "fn f() { let v = std::env::var(\"X\"); }");
         assert!(check_file(&file, &cfg).0.is_empty());
+    }
+
+    #[test]
+    fn clock_rule_forbids_raw_wall_clock_reads_outside_obs_clock() {
+        let findings = check(SERVE, "fn f() { let t = Instant::now(); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "clock");
+        assert!(findings[0].message.contains("Instant::now()"));
+        let findings = check(SERVE, "fn f() { let t = SystemTime::now(); }");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("SystemTime::now()"));
+        // The obs clock module is the one sanctioned call site.
+        assert!(check("crates/obs/src/clock.rs", "fn f() { Instant::now(); }").is_empty());
+        // Plain `now` idents, method calls, and other paths don't trip it.
+        for src in [
+            "fn f() { let now = 3; }",
+            "fn f() { clock.now(); }",
+            "fn f() { registry.now_ns(); }",
+            "fn f() { Other::now(); }",
+        ] {
+            assert!(check(SERVE, src).is_empty(), "{src}");
+        }
+        // Test regions are exempt, and a reasoned allow suppresses it.
+        assert!(check(
+            SERVE,
+            "#[cfg(test)] mod tests { fn f() { Instant::now(); } }"
+        )
+        .is_empty());
+        let allowed =
+            "fn f() {\n    // hems-lint: allow(clock, reason = \"demo\")\n    Instant::now();\n}\n";
+        assert!(check(SERVE, allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Immutable snapshots of a registry: merged series, quantile
+//! estimation, interval diffing, and JSON export.
+//!
+//! The JSON renderer emits only integers, sorted keys, and escaped
+//! strings, so a snapshot round-trips byte-for-byte through
+//! `hems_serve::json` (`parse(render()).render() == render()`), which
+//! is what the `metrics` query verb and the chaos report rely on.
+
+/// One histogram bucket: samples in `(lo, hi]` (the first bucket
+/// starts at 0 inclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Lower edge (exclusive, except 0).
+    pub lo: u64,
+    /// Upper edge (inclusive).
+    pub hi: u64,
+    /// Samples in the bucket.
+    pub n: u64,
+}
+
+/// Merged histogram state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear
+    /// interpolation inside the bucket holding that rank, clamped to
+    /// the exact observed `[min, max]`. Resolution is the bucket
+    /// width: exact for values ≤ 16, within ~19% beyond that.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count.saturating_sub(1)) as f64;
+        let mut before = 0u64;
+        for bucket in &self.buckets {
+            let after = before + bucket.n;
+            if (after as f64) > rank {
+                let into = (rank - before as f64 + 1.0) / bucket.n as f64;
+                let lo = bucket.lo as f64;
+                let hi = bucket.hi as f64;
+                let value = lo + into.clamp(0.0, 1.0) * (hi - lo);
+                return value.clamp(self.min as f64, self.max as f64);
+            }
+            before = after;
+        }
+        self.max as f64
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// This snapshot minus an `earlier` one of the same histogram:
+    /// per-bucket and total deltas. `min`/`max` keep the later values
+    /// (they are lifetime extremes, not interval ones).
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let mut buckets = Vec::new();
+        for bucket in &self.buckets {
+            let prior = earlier
+                .buckets
+                .iter()
+                .find(|b| b.hi == bucket.hi)
+                .map(|b| b.n)
+                .unwrap_or(0);
+            let n = bucket.n.saturating_sub(prior);
+            if n > 0 {
+                buckets.push(Bucket { n, ..*bucket });
+            }
+        }
+        Self {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// One named series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Registry name, e.g. `sweep.scenarios`.
+    pub name: String,
+    /// The merged value.
+    pub data: SeriesData,
+}
+
+/// The value side of a [`Series`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesData {
+    /// Monotonic total.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Merged histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of a registry: every series, merged across
+/// stripes, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Registry clock reading at snapshot time (interval length for
+    /// snapshots produced by [`Snapshot::diff`]).
+    pub at_ns: u64,
+    /// All series, ascending by name.
+    pub series: Vec<Series>,
+}
+
+impl Snapshot {
+    /// Looks up one series by name.
+    pub fn get(&self, name: &str) -> Option<&SeriesData> {
+        self.series
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+            .and_then(|i| self.series.get(i))
+            .map(|s| &s.data)
+    }
+
+    /// Counter total by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(SeriesData::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge level by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(SeriesData::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(SeriesData::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Union of two snapshots (e.g. the process-global registry plus a
+    /// component's private one). On a name collision `self` wins.
+    pub fn merged(mut self, other: Snapshot) -> Snapshot {
+        for series in other.series {
+            if self.get(&series.name).is_none() {
+                self.series.push(series);
+            }
+        }
+        self.series.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+
+    /// Interval view: this snapshot minus an `earlier` one. Counters
+    /// and histogram totals become deltas, gauges keep their later
+    /// level, and `at_ns` becomes the interval length — so
+    /// `delta.counter(name) / delta.at_ns` is a rate.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let data = match (&s.data, earlier.get(&s.name)) {
+                    (SeriesData::Counter(now), Some(SeriesData::Counter(then))) => {
+                        SeriesData::Counter(now.saturating_sub(*then))
+                    }
+                    (SeriesData::Histogram(now), Some(SeriesData::Histogram(then))) => {
+                        SeriesData::Histogram(now.diff(then))
+                    }
+                    (data, _) => data.clone(),
+                };
+                Series {
+                    name: s.name.clone(),
+                    data,
+                }
+            })
+            .collect();
+        Snapshot {
+            at_ns: self.at_ns.saturating_sub(earlier.at_ns),
+            series,
+        }
+    }
+
+    /// Renders the snapshot as one compact JSON object:
+    ///
+    /// ```json
+    /// {"at_ns":12,"series":{"name":{"kind":"counter","value":3},...}}
+    /// ```
+    ///
+    /// Histograms carry `count`/`sum`/`min`/`max`, rounded `p50`/`p95`
+    /// estimates, and their non-empty `[lo,hi,n]` buckets. All values
+    /// are integers, so the text survives an f64-based JSON parser
+    /// unchanged (exact below 2^53).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"at_ns\":");
+        out.push_str(&self.at_ns.to_string());
+        out.push_str(",\"series\":{");
+        for (i, series) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, &series.name);
+            out.push(':');
+            render_series(&mut out, &series.data);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// JSON-lines export: one self-describing object per series, each
+    /// line independently parseable.
+    pub fn render_lines(&self) -> String {
+        let mut out = String::new();
+        for series in &self.series {
+            out.push_str("{\"at_ns\":");
+            out.push_str(&self.at_ns.to_string());
+            out.push_str(",\"name\":");
+            push_json_str(&mut out, &series.name);
+            out.push_str(",\"data\":");
+            render_series(&mut out, &series.data);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn render_series(out: &mut String, data: &SeriesData) {
+    match data {
+        SeriesData::Counter(n) => {
+            out.push_str("{\"kind\":\"counter\",\"value\":");
+            out.push_str(&n.to_string());
+            out.push('}');
+        }
+        SeriesData::Gauge(v) => {
+            out.push_str("{\"kind\":\"gauge\",\"value\":");
+            out.push_str(&v.to_string());
+            out.push('}');
+        }
+        SeriesData::Histogram(h) => {
+            out.push_str("{\"kind\":\"histogram\",\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.sum.to_string());
+            out.push_str(",\"min\":");
+            out.push_str(&h.min.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.max.to_string());
+            out.push_str(",\"p50\":");
+            out.push_str(&(h.quantile(0.50).round() as u64).to_string());
+            out.push_str(",\"p95\":");
+            out.push_str(&(h.quantile(0.95).round() as u64).to_string());
+            out.push_str(",\"buckets\":[");
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&bucket.lo.to_string());
+                out.push(',');
+                out.push_str(&bucket.hi.to_string());
+                out.push(',');
+                out.push_str(&bucket.n.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let hi = (c as u32) >> 4;
+                let lo = (c as u32) & 0xf;
+                out.push(char::from_digit(hi, 16).unwrap_or('0'));
+                out.push(char::from_digit(lo, 16).unwrap_or('0'));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::bounds;
+
+    /// Index of an upper bound in the shared bounds table.
+    fn bound_index(hi: u64) -> Option<usize> {
+        bounds().iter().position(|b| *b == hi)
+    }
+
+    fn sample_hist(values: &[u64]) -> HistogramSnapshot {
+        let h = crate::metrics::Histogram::detached();
+        for v in values {
+            h.record(*v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn quantile_is_exact_for_small_integer_samples() {
+        let h = sample_hist(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((5.0..=6.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn quantile_tracks_sorted_percentile_within_bucket_resolution() {
+        // Uniform 1..=10_000: bucket interpolation must stay within
+        // one bucket width (~19% relative) of the exact percentile.
+        let values: Vec<u64> = (1..=10_000u64).collect();
+        let h = sample_hist(&values);
+        for (q, exact) in [(0.5, 5_000.5), (0.95, 9_500.05), (0.99, 9_900.01)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.19, "q={q}: est {est} vs exact {exact} ({rel})");
+        }
+    }
+
+    #[test]
+    fn histogram_diff_subtracts_counts_and_buckets() {
+        let h = crate::metrics::Histogram::detached();
+        h.record(5);
+        h.record(5);
+        let earlier = h.snapshot();
+        h.record(5);
+        h.record(900);
+        let later = h.snapshot();
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 905);
+        let total: u64 = delta.buckets.iter().map(|b| b.n).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn snapshot_lookup_merge_and_diff() {
+        let a = Snapshot {
+            at_ns: 100,
+            series: vec![
+                Series {
+                    name: "a.count".into(),
+                    data: SeriesData::Counter(10),
+                },
+                Series {
+                    name: "a.depth".into(),
+                    data: SeriesData::Gauge(3),
+                },
+            ],
+        };
+        let b = Snapshot {
+            at_ns: 90,
+            series: vec![Series {
+                name: "b.count".into(),
+                data: SeriesData::Counter(7),
+            }],
+        };
+        let merged = a.clone().merged(b);
+        assert_eq!(merged.counter("a.count"), Some(10));
+        assert_eq!(merged.counter("b.count"), Some(7));
+        assert_eq!(merged.gauge("a.depth"), Some(3));
+        assert!(merged.get("missing").is_none());
+
+        let earlier = Snapshot {
+            at_ns: 40,
+            series: vec![Series {
+                name: "a.count".into(),
+                data: SeriesData::Counter(4),
+            }],
+        };
+        let delta = a.diff(&earlier);
+        assert_eq!(delta.at_ns, 60);
+        assert_eq!(delta.counter("a.count"), Some(6));
+        assert_eq!(delta.gauge("a.depth"), Some(3));
+    }
+
+    #[test]
+    fn render_is_compact_integer_only_json() {
+        let snap = Snapshot {
+            at_ns: 5,
+            series: vec![
+                Series {
+                    name: "c".into(),
+                    data: SeriesData::Counter(2),
+                },
+                Series {
+                    name: "g".into(),
+                    data: SeriesData::Gauge(-1),
+                },
+                Series {
+                    name: "h".into(),
+                    data: SeriesData::Histogram(sample_hist(&[3, 3])),
+                },
+            ],
+        };
+        let text = snap.render();
+        assert!(text.starts_with("{\"at_ns\":5,\"series\":{"));
+        assert!(text.contains("\"c\":{\"kind\":\"counter\",\"value\":2}"));
+        assert!(text.contains("\"g\":{\"kind\":\"gauge\",\"value\":-1}"));
+        assert!(text.contains("\"kind\":\"histogram\",\"count\":2,\"sum\":6"));
+        assert!(!text.contains('.'), "integers only: {text}");
+        let lines = snap.render_lines();
+        assert_eq!(lines.lines().count(), 3);
+        for line in lines.lines() {
+            assert!(line.starts_with("{\"at_ns\":5,\"name\":"));
+        }
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn bucket_edges_line_up_with_the_bounds_table() {
+        let h = sample_hist(&[100]);
+        let bucket = h.buckets.first().expect("one bucket");
+        let i = bound_index(bucket.hi).expect("hi is a table bound");
+        assert!(bucket.lo < bucket.hi);
+        if i > 0 {
+            assert_eq!(Some(bucket.lo), bounds().get(i - 1).copied());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Span tracing: RAII guards whose lifetime becomes a histogram
+//! sample.
+//!
+//! ```
+//! let _guard = hems_obs::span!("solve_mep");
+//! // ... work ...
+//! // guard drops here; elapsed ns land in the "solve_mep" histogram
+//! ```
+
+use crate::clock::Clock;
+use crate::metrics::Histogram;
+use std::sync::Arc;
+
+struct SpanInner {
+    histogram: Histogram,
+    clock: Arc<dyn Clock>,
+    start_ns: u64,
+}
+
+/// A running span. Dropping it records the elapsed nanoseconds (per
+/// its registry's clock) into the span's histogram. Inert when
+/// recording is disabled.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("running", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl SpanGuard {
+    pub(crate) fn started(histogram: Histogram, clock: Arc<dyn Clock>) -> Self {
+        let start_ns = clock.now_ns();
+        Self {
+            inner: Some(SpanInner {
+                histogram,
+                clock,
+                start_ns,
+            }),
+        }
+    }
+
+    pub(crate) fn inert() -> Self {
+        Self { inner: None }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed = inner.clock.now_ns().saturating_sub(inner.start_ns);
+            inner.histogram.record(elapsed);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Starts a span on the [global registry](crate::global): the
+/// expression evaluates to a [`SpanGuard`] whose drop records elapsed
+/// nanoseconds into the named histogram.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::clock::ManualClock;
+    use crate::registry::Registry;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_duration_comes_from_the_registry_clock() {
+        let clock = Arc::new(ManualClock::new(1_000));
+        let registry = Registry::with_clock(clock.clone());
+        {
+            let _guard = registry.span("work.ns");
+            clock.advance(250);
+        }
+        let h = registry.histogram("work.ns").snapshot();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 250);
+        assert_eq!((h.min, h.max), (250, 250));
+    }
+
+    #[test]
+    fn nested_and_repeated_spans_accumulate() {
+        let clock = Arc::new(ManualClock::new(0));
+        let registry = Registry::with_clock(clock.clone());
+        for step in [10u64, 20, 30] {
+            let guard = registry.span("work.ns");
+            clock.advance(step);
+            guard.finish();
+        }
+        {
+            let _outer = registry.span("outer.ns");
+            let _inner = registry.span("work.ns");
+            clock.advance(5);
+        }
+        let work = registry.histogram("work.ns").snapshot();
+        assert_eq!(work.count, 4);
+        assert_eq!(work.sum, 65);
+        let outer = registry.histogram("outer.ns").snapshot();
+        assert_eq!((outer.count, outer.sum), (1, 5));
+    }
+
+    #[test]
+    fn span_macro_records_on_the_global_registry() {
+        {
+            let _guard = crate::span!("obs.span_test.macro_ns");
+        }
+        let snap = crate::global().snapshot();
+        let h = snap
+            .histogram("obs.span_test.macro_ns")
+            .expect("histogram registered by the macro");
+        assert!(h.count >= 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! The global kill switch, exercised in its own process: integration
+//! test binaries run separately from the unit tests, so toggling the
+//! process-wide enable flag here cannot race with them.
+
+use hems_obs::{set_enabled, Counter, Gauge, Histogram, ManualClock, Registry};
+use std::sync::Arc;
+
+#[test]
+fn disabled_recording_is_a_no_op_everywhere() {
+    let counter = Counter::detached();
+    let gauge = Gauge::detached();
+    let histogram = Histogram::detached();
+    let clock = Arc::new(ManualClock::new(0));
+    let registry = Registry::with_clock(clock.clone());
+
+    counter.add(2);
+    gauge.add(3);
+    histogram.record(7);
+    {
+        let _guard = registry.span("work.ns");
+        clock.advance(10);
+    }
+
+    set_enabled(false);
+    assert!(!hems_obs::enabled());
+    counter.add(100);
+    gauge.add(100);
+    gauge.set_max(100);
+    histogram.record(100);
+    {
+        let _guard = registry.span("work.ns");
+        clock.advance(100);
+    }
+    set_enabled(true);
+
+    assert_eq!(counter.total(), 2);
+    assert_eq!(gauge.value(), 3);
+    let h = histogram.snapshot();
+    assert_eq!((h.count, h.sum), (1, 7));
+    let spans = registry.histogram("work.ns").snapshot();
+    assert_eq!((spans.count, spans.sum), (1, 10));
+}

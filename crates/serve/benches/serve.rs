@@ -22,12 +22,12 @@
 //! and skips the warm<cold assertion (one sample proves nothing).
 
 use hems_bench::harness::{percentile, Json};
+use hems_obs::clock::monotonic_ns;
 use hems_serve::json::{parse, Value};
 use hems_serve::proto::{QueryKind, Request, ScenarioSpec};
 use hems_serve::{serve, ServeConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
 
 /// Distinct plan requests: every cacheable query kind at several light
 /// levels (and a couple of off-baseline scenarios so the canonicalizer
@@ -76,13 +76,13 @@ fn round_trip(
     reader: &mut BufReader<TcpStream>,
     line: &str,
 ) -> (f64, Value) {
-    let started = Instant::now();
+    let started = monotonic_ns();
     stream
         .write_all(format!("{line}\n").as_bytes())
         .expect("write request");
     let mut response = String::new();
     reader.read_line(&mut response).expect("read response");
-    let ns = started.elapsed().as_nanos() as f64;
+    let ns = monotonic_ns().saturating_sub(started) as f64;
     (ns, parse(&response).expect("response parses"))
 }
 
@@ -174,7 +174,7 @@ fn main() {
 
     // --- 3. Concurrent warm throughput: 4 clients replay the set. ---
     let clients = 4usize;
-    let started = Instant::now();
+    let started = monotonic_ns();
     let threads: Vec<_> = (0..clients)
         .map(|_| {
             let requests = requests.clone();
@@ -186,7 +186,7 @@ fn main() {
         let (pass, _) = t.join().expect("client thread");
         concurrent_requests += pass.len();
     }
-    let concurrent_secs = started.elapsed().as_secs_f64();
+    let concurrent_secs = monotonic_ns().saturating_sub(started) as f64 / 1e9;
     let concurrent_rps = concurrent_requests as f64 / concurrent_secs;
     println!(
         "[serve bench] {clients} clients: {concurrent_requests} warm requests \

@@ -15,6 +15,7 @@
 //! shard is full.
 
 use crate::sync::relock;
+use hems_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -32,13 +33,17 @@ struct Shard {
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PlanCache {
     /// A cache holding at most ~`capacity` entries total (rounded up to a
-    /// multiple of [`SHARDS`]; a zero capacity disables caching).
+    /// multiple of [`SHARDS`]; a zero capacity disables caching). Hit,
+    /// miss, and eviction counters stay detached (counted but invisible);
+    /// use [`PlanCache::with_registry`] to surface them in a snapshot.
     pub fn new(capacity: usize) -> PlanCache {
-        let per_shard_capacity = capacity.div_ceil(SHARDS);
         PlanCache {
             shards: (0..SHARDS)
                 .map(|_| {
@@ -48,8 +53,22 @@ impl PlanCache {
                     })
                 })
                 .collect(),
-            per_shard_capacity,
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            evictions: Counter::detached(),
         }
+    }
+
+    /// Like [`PlanCache::new`], but registers `serve.cache.hits`,
+    /// `serve.cache.misses`, and `serve.cache.evictions` counters in
+    /// `registry` so cache behaviour shows up in `metrics` snapshots.
+    pub fn with_registry(capacity: usize, registry: &Registry) -> PlanCache {
+        let mut cache = PlanCache::new(capacity);
+        cache.hits = registry.counter("serve.cache.hits");
+        cache.misses = registry.counter("serve.cache.misses");
+        cache.evictions = registry.counter("serve.cache.evictions");
+        cache
     }
 
     fn shard(&self, key: u64) -> &Mutex<Shard> {
@@ -65,10 +84,15 @@ impl PlanCache {
         let mut shard = relock(self.shard(key));
         shard.clock += 1;
         let clock = shard.clock;
-        shard.entries.get_mut(&key).map(|entry| {
+        let value = shard.entries.get_mut(&key).map(|entry| {
             entry.0 = clock;
             entry.1.clone()
-        })
+        });
+        match value {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
+        value
     }
 
     /// Inserts (or refreshes) a rendered result, evicting the shard's
@@ -83,6 +107,7 @@ impl PlanCache {
         if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
             if let Some((&oldest, _)) = shard.entries.iter().min_by_key(|(_, (tick, _))| *tick) {
                 shard.entries.remove(&oldest);
+                self.evictions.inc();
             }
         }
         shard.entries.insert(key, (clock, value));
@@ -143,6 +168,21 @@ mod tests {
         cache.insert(1, "a".to_string());
         assert_eq!(cache.get(1), None);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn registry_counters_track_hits_misses_and_evictions() {
+        let registry = Registry::new();
+        let cache = PlanCache::with_registry(8, &registry);
+        let in_shard = |i: u64| i << 8; // top bits zero → shard 0
+        assert_eq!(cache.get(in_shard(1)), None); // miss
+        cache.insert(in_shard(1), "a".to_string());
+        assert!(cache.get(in_shard(1)).is_some()); // hit
+        cache.insert(in_shard(2), "b".to_string()); // 1-entry shard: evicts a
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.cache.hits"), Some(1));
+        assert_eq!(snap.counter("serve.cache.misses"), Some(1));
+        assert_eq!(snap.counter("serve.cache.evictions"), Some(1));
     }
 
     #[test]

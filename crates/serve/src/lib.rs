@@ -18,8 +18,11 @@
 //!
 //! Admission control keeps the service honest under load: the miss queue
 //! is bounded and a full queue answers `overloaded` instead of queueing
-//! without limit. A `stats` query exposes counters and recent latency
-//! percentiles; `shutdown` drains in-flight batches before stopping.
+//! without limit. A `stats` query exposes counters and latency
+//! percentiles; a `metrics` query returns the full `hems_obs` telemetry
+//! snapshot (the process-global sweep/pool/LUT series merged with this
+//! server's `serve.*` series — see `DESIGN.md` §12); `shutdown` drains
+//! in-flight batches before stopping.
 //!
 //! Everything is `std`-only — the wire format lives in [`json`] (a small
 //! recursive-descent parser and compact encoder), the protocol in

@@ -76,7 +76,7 @@ pub fn answer(job: &PlanJob) -> Result<Value, String> {
         QueryKind::Bypass => bypass_decision(job),
         QueryKind::Sprint => sprint_plan(job),
         QueryKind::SweepSummary => sweep_summary(job),
-        QueryKind::Stats | QueryKind::Shutdown => {
+        QueryKind::Stats | QueryKind::Metrics | QueryKind::Shutdown => {
             Err("service queries are answered inline, not planned".to_string())
         }
     }

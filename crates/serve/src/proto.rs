@@ -56,6 +56,9 @@ pub enum QueryKind {
     SweepSummary,
     /// Service counters and latency percentiles (not cached).
     Stats,
+    /// Full telemetry snapshot: the process-global and per-server
+    /// `hems_obs` registries merged and rendered as JSON (not cached).
+    Metrics,
     /// Graceful shutdown: drain in-flight work, then stop (not cached).
     Shutdown,
 }
@@ -70,6 +73,7 @@ impl QueryKind {
             "sprint" => QueryKind::Sprint,
             "sweep_summary" => QueryKind::SweepSummary,
             "stats" => QueryKind::Stats,
+            "metrics" => QueryKind::Metrics,
             "shutdown" => QueryKind::Shutdown,
             _ => return None,
         })
@@ -84,13 +88,17 @@ impl QueryKind {
             QueryKind::Sprint => "sprint",
             QueryKind::SweepSummary => "sweep_summary",
             QueryKind::Stats => "stats",
+            QueryKind::Metrics => "metrics",
             QueryKind::Shutdown => "shutdown",
         }
     }
 
     /// `true` for the scenario-backed, cacheable plan queries.
     pub fn needs_scenario(self) -> bool {
-        !matches!(self, QueryKind::Stats | QueryKind::Shutdown)
+        !matches!(
+            self,
+            QueryKind::Stats | QueryKind::Metrics | QueryKind::Shutdown
+        )
     }
 }
 
@@ -333,7 +341,7 @@ impl Request {
                 id.clone(),
                 format!(
                     "unknown query '{kind_name}' \
-                     (optimal_point|mep|bypass|sprint|sweep_summary|stats|shutdown)"
+                     (optimal_point|mep|bypass|sprint|sweep_summary|stats|metrics|shutdown)"
                 ),
             )
         })?;

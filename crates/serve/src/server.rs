@@ -44,6 +44,7 @@ use crate::proto::{
 };
 use crate::stats::ServeStats;
 use crate::sync::relock;
+use hems_obs::clock::monotonic_ns;
 use hems_sim::WorkerPool;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
@@ -51,7 +52,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for a server instance.
 #[derive(Debug, Clone)]
@@ -102,7 +103,7 @@ struct Pending {
     id: crate::json::Value,
     job: PlanJob,
     conn: Arc<Mutex<TcpStream>>,
-    accepted_at: Instant,
+    accepted_at: u64,
 }
 
 struct Shared {
@@ -205,9 +206,10 @@ pub fn serve<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Serve
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let pool = WorkerPool::with_default_threads(config.threads);
+    let stats = ServeStats::new();
     let shared = Arc::new(Shared {
-        cache: PlanCache::new(config.cache_capacity),
-        stats: ServeStats::new(),
+        cache: PlanCache::with_registry(config.cache_capacity, stats.registry()),
+        stats,
         queue: Mutex::new(VecDeque::new()),
         queue_ready: Condvar::new(),
         accepting: AtomicBool::new(true),
@@ -346,11 +348,11 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 // connection. Reap it quietly — the close *is* the signal,
                 // and writing into a stalled socket could itself block
                 // until the write deadline.
-                shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+                shared.stats.reaped.inc();
                 return;
             }
             Err(_) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.errors.inc();
                 write_line(
                     &writer,
                     &error_response(&crate::json::Value::Null, "bad line"),
@@ -361,12 +363,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
-        let started = Instant::now();
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let started = monotonic_ns();
+        shared.stats.requests.inc();
         let request = match Request::parse_line(&line) {
             Ok(request) => request,
             Err((id, message)) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.errors.inc();
                 write_line(&writer, &error_response(&id, &message));
                 continue;
             }
@@ -380,6 +382,26 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 );
                 write_line(&writer, &ok_response(&request.id, false, snapshot));
                 shared.stats.record_latency_ns(elapsed_ns(started));
+            }
+            QueryKind::Metrics => {
+                // Merge the process-global registry (sweep, pool, LUT
+                // series) with this server's own (serve.*, cache), then
+                // round-trip the rendered snapshot through this crate's
+                // parser so the response is a structured result object,
+                // not an opaque string.
+                let merged = hems_obs::global()
+                    .snapshot()
+                    .merged(shared.stats.registry().snapshot());
+                match crate::json::parse(&merged.render()) {
+                    Ok(value) => {
+                        write_line(&writer, &ok_response(&request.id, false, value));
+                        shared.stats.record_latency_ns(elapsed_ns(started));
+                    }
+                    Err(e) => {
+                        shared.stats.errors.inc();
+                        write_line(&writer, &error_response(&request.id, &e.to_string()));
+                    }
+                }
             }
             QueryKind::Shutdown => {
                 write_line(
@@ -402,12 +424,12 @@ fn handle_plan_query(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     request: Request,
-    started: Instant,
+    started: u64,
 ) {
     let Some(spec) = request.scenario else {
         // Parsing guarantees plan queries carry a scenario; answer rather
         // than crash the connection if that invariant ever slips.
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         write_line(
             writer,
             &error_response(&request.id, "plan query is missing a scenario"),
@@ -417,13 +439,13 @@ fn handle_plan_query(
     let job = match PlanJob::build(request.kind, spec) {
         Ok(job) => job,
         Err(message) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             write_line(writer, &error_response(&request.id, &message));
             return;
         }
     };
     if let Some(rendered) = shared.cache.get(job.key) {
-        shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+        shared.stats.hits.inc();
         write_line(writer, &ok_line(&request.id, true, &rendered));
         shared.stats.record_latency_ns(elapsed_ns(started));
         return;
@@ -438,7 +460,7 @@ fn handle_plan_query(
         } else if queue.len() >= shared.config.max_queue {
             Some("queue full, back off and retry")
         } else {
-            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            shared.stats.misses.inc();
             queue.push_back(Pending {
                 id: request.id.clone(),
                 job,
@@ -450,7 +472,7 @@ fn handle_plan_query(
     };
     match refused {
         Some(reason) => {
-            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            shared.stats.overloaded.inc();
             write_line(writer, &overloaded_response(&request.id, reason));
         }
         None => shared.queue_ready.notify_one(),
@@ -481,8 +503,8 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-fn elapsed_ns(started: Instant) -> f64 {
-    started.elapsed().as_nanos() as f64
+fn elapsed_ns(started_ns: u64) -> f64 {
+    monotonic_ns().saturating_sub(started_ns) as f64
 }
 
 fn batch_loop(shared: &Arc<Shared>) {
@@ -567,7 +589,7 @@ fn batch_loop(shared: &Arc<Shared>) {
                     // so the error is terminal. Not cached — a transiently
                     // infeasible plan (e.g. a race on darkness) should not
                     // poison the key.
-                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.errors.inc();
                     for p in pendings {
                         write_line(&p.conn, &error_response(&p.id, &message));
                         shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
@@ -578,7 +600,7 @@ fn batch_loop(shared: &Arc<Shared>) {
                     // request: only this key's waiters degrade (the rest of
                     // the batch already has answers) and the response is
                     // marked retryable so a well-behaved client resubmits.
-                    shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.faults.inc();
                     let message = format!("internal fault: {}", panic.message());
                     for p in pendings {
                         write_line(&p.conn, &retryable_error_response(&p.id, &message));

@@ -1,115 +1,106 @@
-//! Service counters and latency percentiles.
+//! Service counters and latency percentiles, on the shared telemetry
+//! core.
 //!
-//! Counters are lock-free atomics bumped on the request path; latencies
-//! land in a fixed-size ring (last [`LATENCY_WINDOW`] samples) so the
-//! percentile view tracks *recent* behaviour instead of averaging over the
-//! process lifetime. Percentile math reuses `hems_bench::harness` — the
-//! same interpolated-percentile code the offline benches report with, so
-//! the `stats` query and `BENCH_serve.json` are directly comparable.
+//! Every number here is a `hems_obs` metric registered in a per-server
+//! [`Registry`] (named `serve.*`), so the same values power three views:
+//! the legacy `stats` query (flat JSON, shape unchanged), the `metrics`
+//! query (full registry snapshot, merged with the process-global
+//! registry), and in-process assertions in tests. The registry is
+//! per-server — not global — because test suites run several servers in
+//! one process and assert exact per-server counts.
+//!
+//! Latency percentiles come from the `serve.latency_ns` histogram
+//! (log-spaced buckets, ~19 % worst-case relative error) instead of the
+//! old sort-the-window ring: recording is lock-free and constant-time,
+//! and the histogram composes with snapshot diffing for interval rates.
+//! A parity test below keeps the histogram quantiles honest against the
+//! exact sort-based percentile the offline benches report with.
 
 use crate::json::Value;
-use crate::sync::relock;
-use hems_bench::harness::percentile;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use hems_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 
-/// Latency samples kept for the percentile window.
-pub const LATENCY_WINDOW: usize = 4096;
-
-#[derive(Debug)]
-struct LatencyRing {
-    samples_ns: Vec<f64>,
-    next: usize,
-    filled: bool,
-}
-
-/// Counters plus a recent-latency window.
-#[derive(Debug)]
+/// Counters plus the service-latency histogram, all backed by a
+/// per-server [`Registry`].
+#[derive(Debug, Clone)]
 pub struct ServeStats {
+    registry: Arc<Registry>,
     /// Requests parsed (all kinds, including refused ones).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Plan-cache hits.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Plan-cache misses (accepted into the batch queue).
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Requests refused by admission control.
-    pub overloaded: AtomicU64,
+    pub overloaded: Counter,
     /// Requests answered with `status: error`.
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Worker-pool panics answered with a retryable degraded response.
-    pub faults: AtomicU64,
+    pub faults: Counter,
     /// Connections reaped by the read deadline (idle/slow-loris).
-    pub reaped: AtomicU64,
+    pub reaped: Counter,
     /// Batches executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Jobs executed across all batches (after in-batch dedup).
-    pub batched_jobs: AtomicU64,
+    pub batched_jobs: Counter,
     /// Largest batch observed.
-    pub max_batch: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    pub max_batch: Gauge,
+    latency: Histogram,
 }
 
 impl ServeStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats over a fresh per-server registry.
     pub fn new() -> ServeStats {
+        let registry = Arc::new(Registry::new());
         ServeStats {
-            requests: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            overloaded: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            faults: AtomicU64::new(0),
-            reaped: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_jobs: AtomicU64::new(0),
-            max_batch: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing {
-                samples_ns: Vec::with_capacity(LATENCY_WINDOW),
-                next: 0,
-                filled: false,
-            }),
+            requests: registry.counter("serve.requests"),
+            hits: registry.counter("serve.hits"),
+            misses: registry.counter("serve.misses"),
+            overloaded: registry.counter("serve.overloaded"),
+            errors: registry.counter("serve.errors"),
+            faults: registry.counter("serve.faults"),
+            reaped: registry.counter("serve.reaped"),
+            batches: registry.counter("serve.batches"),
+            batched_jobs: registry.counter("serve.batched_jobs"),
+            max_batch: registry.gauge("serve.max_batch"),
+            latency: registry.histogram("serve.latency_ns"),
+            registry,
         }
+    }
+
+    /// The per-server registry backing these stats — the `metrics` query
+    /// snapshots it, and the plan cache registers its counters in it.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one batch's size (count + max).
     pub fn record_batch(&self, jobs: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
-        self.max_batch.fetch_max(jobs as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_jobs.add(jobs as u64);
+        self.max_batch.set_max(jobs as i64);
     }
 
     /// Records one request's service latency (receipt → response write).
     pub fn record_latency_ns(&self, ns: f64) {
-        let mut ring = relock(&self.latencies);
-        if ring.samples_ns.len() < LATENCY_WINDOW {
-            ring.samples_ns.push(ns);
-        } else {
-            let slot = ring.next;
-            if let Some(sample) = ring.samples_ns.get_mut(slot) {
-                *sample = ns;
-            }
-            ring.filled = true;
-        }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+        self.latency.record(ns.max(0.0) as u64);
     }
 
-    /// The recent-latency percentiles `(p50, p95)` in nanoseconds, `None`
-    /// with no samples yet.
+    /// The latency percentiles `(p50, p95)` in nanoseconds from the
+    /// histogram, `None` with no samples yet.
     pub fn latency_percentiles(&self) -> Option<(f64, f64)> {
-        let ring = relock(&self.latencies);
-        if ring.samples_ns.is_empty() {
+        let snap = self.latency.snapshot();
+        if snap.count == 0 {
             return None;
         }
-        let mut sorted = ring.samples_ns.clone();
-        sorted.sort_by(f64::total_cmp);
-        Some((percentile(&sorted, 50.0), percentile(&sorted, 95.0)))
+        Some((snap.quantile(0.50), snap.quantile(0.95)))
     }
 
     /// The stats snapshot served to a `stats` query. `queue_depth` and
     /// `cache_entries` are sampled by the caller (they live outside this
     /// struct).
     pub fn snapshot(&self, queue_depth: usize, cache_entries: usize, workers: usize) -> Value {
-        let load = |c: &AtomicU64| Value::Num(c.load(Ordering::Relaxed) as f64);
+        let load = |c: &Counter| Value::Num(c.total() as f64);
         let (p50, p95) = self
             .latency_percentiles()
             .map_or((Value::Null, Value::Null), |(p50, p95)| {
@@ -125,7 +116,7 @@ impl ServeStats {
             ("reaped", load(&self.reaped)),
             ("batches", load(&self.batches)),
             ("batched_jobs", load(&self.batched_jobs)),
-            ("max_batch", load(&self.max_batch)),
+            ("max_batch", Value::Num(self.max_batch.value() as f64)),
             ("queue_depth", Value::Num(queue_depth as f64)),
             ("cache_entries", Value::Num(cache_entries as f64)),
             ("workers", Value::Num(workers as f64)),
@@ -144,6 +135,7 @@ impl Default for ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hems_bench::harness::percentile;
 
     #[test]
     fn percentiles_track_recorded_latencies() {
@@ -158,22 +150,55 @@ mod tests {
     }
 
     #[test]
-    fn ring_overwrites_oldest_beyond_the_window() {
+    fn histogram_percentiles_match_the_sorted_reference() {
+        // Parity with the pre-histogram implementation: the old path
+        // sorted the samples and called `hems_bench::harness::percentile`.
+        // The histogram answers from log-spaced buckets (ratio 2^(1/4)),
+        // so it must agree within one bucket's relative width (~19 %).
         let stats = ServeStats::new();
-        for _ in 0..LATENCY_WINDOW {
-            stats.record_latency_ns(1.0);
+        let mut samples = Vec::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let ns = 200.0 + (state % 2_000_000) as f64;
+            samples.push(ns);
+            stats.record_latency_ns(ns);
         }
-        for _ in 0..LATENCY_WINDOW / 2 {
-            stats.record_latency_ns(1_000_000.0);
+        samples.sort_by(f64::total_cmp);
+        let (p50, p95) = stats.latency_percentiles().unwrap();
+        let exact50 = percentile(&samples, 50.0);
+        let exact95 = percentile(&samples, 95.0);
+        assert!(
+            (p50 - exact50).abs() <= 0.19 * exact50,
+            "p50 = {p50}, exact = {exact50}"
+        );
+        assert!(
+            (p95 - exact95).abs() <= 0.19 * exact95,
+            "p95 = {p95}, exact = {exact95}"
+        );
+    }
+
+    #[test]
+    fn latency_is_a_lifetime_histogram_not_a_window() {
+        // The old ring forgot samples past LATENCY_WINDOW; the histogram
+        // keeps the full distribution, so early outliers stay visible.
+        let stats = ServeStats::new();
+        stats.record_latency_ns(1_000_000_000.0);
+        for _ in 0..8192 {
+            stats.record_latency_ns(1_000.0);
         }
-        let (p50, _) = stats.latency_percentiles().unwrap();
-        assert!(p50 > 1.0, "newer samples displaced old ones: p50 = {p50}");
+        let snap = stats.registry().snapshot();
+        let hist = snap.histogram("serve.latency_ns").unwrap();
+        assert_eq!(hist.count, 8193);
+        assert!(hist.max >= 1_000_000_000, "outlier retained: {}", hist.max);
     }
 
     #[test]
     fn snapshot_renders_every_counter() {
         let stats = ServeStats::new();
-        stats.requests.fetch_add(3, Ordering::Relaxed);
+        stats.requests.add(3);
         stats.record_batch(5);
         stats.record_latency_ns(42.0);
         let snap = stats.snapshot(2, 7, 4);
@@ -183,5 +208,14 @@ mod tests {
         assert_eq!(snap.get("cache_entries").and_then(Value::as_f64), Some(7.0));
         assert_eq!(snap.get("workers").and_then(Value::as_f64), Some(4.0));
         assert!(snap.get("latency_p50_ns").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn two_servers_have_independent_registries() {
+        let a = ServeStats::new();
+        let b = ServeStats::new();
+        a.requests.inc();
+        assert_eq!(a.requests.total(), 1);
+        assert_eq!(b.requests.total(), 0);
     }
 }

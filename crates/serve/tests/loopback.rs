@@ -233,6 +233,88 @@ fn saturated_queue_answers_overloaded_instead_of_hanging() {
 }
 
 #[test]
+fn metrics_query_returns_the_merged_telemetry_snapshot() {
+    let mut handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: Some(2),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let (mut stream, mut reader) = connect(handle.addr());
+
+    // A mixed workload first: a sweep (drives the sweep/pool series on the
+    // global registry), a plan miss, and the same plan again for a cache
+    // hit (drives the serve.* series on the server's registry).
+    let mut sweep_spec = ScenarioSpec::baseline(0.8);
+    sweep_spec.duration = 0.005;
+    let plan_spec = ScenarioSpec::baseline(0.6);
+    let lines = [
+        Request::render_line(1, QueryKind::SweepSummary, Some(&sweep_spec)),
+        Request::render_line(2, QueryKind::Mep, Some(&plan_spec)),
+        Request::render_line(3, QueryKind::Mep, Some(&plan_spec)),
+    ];
+    for line in &lines {
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let response = read_response(&mut reader);
+        assert_eq!(
+            response.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "workload request failed: {response:?}"
+        );
+    }
+
+    let metrics = Request::render_line(99, QueryKind::Metrics, None);
+    stream
+        .write_all(format!("{metrics}\n").as_bytes())
+        .expect("write metrics");
+    let response = read_response(&mut reader);
+    assert_eq!(
+        response.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "metrics must succeed: {response:?}"
+    );
+    let result = response.get("result").expect("metrics result");
+    assert!(
+        result.get("at_ns").and_then(Value::as_f64).is_some(),
+        "snapshot carries its timestamp"
+    );
+    let series = result.get("series").expect("series object");
+
+    let counter = |name: &str| {
+        series
+            .get(name)
+            .unwrap_or_else(|| panic!("series '{name}' missing"))
+            .get("value")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("series '{name}' has no value"))
+    };
+    // Sweep series (global registry, driven by sweep_summary).
+    assert!(counter("sweep.scenarios") >= 1.0, "sweep ran");
+    // Pool series (global registry, driven by the batcher's fan-out).
+    assert!(counter("pool.jobs") >= 2.0, "pool executed the misses");
+    // Cache series (per-server registry).
+    assert!(counter("serve.cache.hits") >= 1.0, "repeat plan hit");
+    assert!(counter("serve.cache.misses") >= 2.0, "first queries missed");
+    // Admission + service series (per-server registry).
+    assert_eq!(counter("serve.overloaded"), 0.0, "nothing refused");
+    assert!(counter("serve.requests") >= 4.0, "all requests counted");
+    let latency = series.get("serve.latency_ns").expect("latency histogram");
+    assert_eq!(
+        latency.get("kind").and_then(Value::as_str),
+        Some("histogram")
+    );
+    assert!(
+        latency.get("count").and_then(Value::as_f64).unwrap() >= 3.0,
+        "latency recorded per answered request"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_accepted_requests() {
     let mut handle = serve(
         "127.0.0.1:0",

@@ -44,6 +44,29 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+/// Standing pool telemetry on the process-global registry (DESIGN.md
+/// §12). Counters/gauges are shared by every pool in the process:
+/// `pool.queue_depth` is tasks enqueued but not yet started,
+/// `pool.busy` is jobs currently executing, `pool.panics` counts
+/// isolated job panics (the fault-injection campaign's signal).
+mod obs {
+    use std::sync::LazyLock;
+
+    use hems_obs::{global, Counter, Gauge, Histogram};
+
+    pub(super) static JOBS: LazyLock<Counter> = LazyLock::new(|| global().counter("pool.jobs"));
+    pub(super) static BATCHES: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("pool.batches"));
+    pub(super) static PANICS: LazyLock<Counter> = LazyLock::new(|| global().counter("pool.panics"));
+    pub(super) static INLINE_BATCHES: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("pool.inline_batches"));
+    pub(super) static QUEUE_DEPTH: LazyLock<Gauge> =
+        LazyLock::new(|| global().gauge("pool.queue_depth"));
+    pub(super) static BUSY: LazyLock<Gauge> = LazyLock::new(|| global().gauge("pool.busy"));
+    pub(super) static BATCH_JOBS: LazyLock<Histogram> =
+        LazyLock::new(|| global().histogram("pool.batch_jobs"));
+}
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// A job's outcome as stored in its batch slot: the value, or the panic
@@ -55,6 +78,22 @@ type JobOutcome<T> = Result<T, Box<dyn Any + Send + 'static>>;
 /// an unwind, so the poison flag carries no information here.
 fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one job under `catch_unwind` with occupancy and panic-isolation
+/// telemetry around it (used by both the worker and the inline path).
+fn run_instrumented<T, F>(job: F) -> JobOutcome<T>
+where
+    F: FnOnce() -> T,
+{
+    obs::JOBS.inc();
+    obs::BUSY.add(1);
+    let outcome = catch_unwind(AssertUnwindSafe(job));
+    obs::BUSY.add(-1);
+    if outcome.is_err() {
+        obs::PANICS.inc();
+    }
+    outcome
 }
 
 /// A pool job panicked; carries the rendered panic message.
@@ -182,11 +221,15 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        obs::BATCHES.inc();
+        obs::BATCH_JOBS.record(n as u64);
+        let _batch_span = hems_obs::span!("pool.batch_ns");
         if self.workers.is_empty() {
             // Degraded mode: no worker ever spawned; run inline.
+            obs::INLINE_BATCHES.inc();
             return jobs
                 .into_iter()
-                .map(|job| Some(catch_unwind(AssertUnwindSafe(job))))
+                .map(|job| Some(run_instrumented(job)))
                 .collect();
         }
         let batch = Arc::new(Batch {
@@ -196,10 +239,12 @@ impl WorkerPool {
         });
         {
             let mut guard = relock(&self.injector.queue);
+            obs::QUEUE_DEPTH.add(n as i64);
             for (index, job) in jobs.into_iter().enumerate() {
                 let batch = Arc::clone(&batch);
                 guard.0.push_back(Box::new(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(job));
+                    obs::QUEUE_DEPTH.add(-1);
+                    let outcome = run_instrumented(job);
                     if let Some(slot) = relock(&batch.slots).get_mut(index) {
                         *slot = Some(outcome);
                     }

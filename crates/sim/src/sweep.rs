@@ -48,6 +48,22 @@ use hems_regulator::{AnyRegulator, Regulator, RegulatorKind};
 use hems_storage::Capacitor;
 use hems_units::{Farads, Seconds, Volts};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::LazyLock;
+
+/// Standing telemetry handles on the process-global registry (DESIGN.md
+/// §12). Resolved once; recording is a couple of relaxed atomic ops and
+/// a no-op when `hems_obs::set_enabled(false)`.
+mod obs {
+    use super::LazyLock;
+    use hems_obs::{global, Counter};
+
+    /// Scenarios executed (any entry point, serial or parallel).
+    pub(super) static SCENARIOS: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("sweep.scenarios"));
+    /// Scenarios whose summary came back as an error.
+    pub(super) static SCENARIO_ERRORS: LazyLock<Counter> =
+        LazyLock::new(|| global().counter("sweep.scenario_errors"));
+}
 
 /// A control policy as *data*: controllers are stateful and single-run, so
 /// the grid carries constructible descriptions and each scenario builds a
@@ -267,6 +283,8 @@ pub struct ScenarioResult {
 
 /// Runs one scenario to completion on the current thread.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let _span = hems_obs::span!("sweep.scenario_ns");
+    obs::SCENARIOS.inc();
     let irradiance = scenario.config.cell.irradiance();
     let capacitance = scenario.config.capacitor.capacitance();
     let regulator = scenario.config.regulator.kind();
@@ -277,6 +295,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
             sim.run(controller.as_mut(), scenario.duration)
         })
         .map_err(|e| e.to_string());
+    if summary.is_err() {
+        obs::SCENARIO_ERRORS.inc();
+    }
     ScenarioResult {
         index: scenario.index,
         label: scenario.label.clone(),
@@ -309,7 +330,11 @@ pub fn run_serial(grid: &SweepGrid) -> Result<Vec<ScenarioResult>, SimError> {
 /// Panics if a worker thread panics (a scenario's integrator paniced —
 /// a bug, not a data condition).
 pub fn run_parallel(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResult>, SimError> {
-    Ok(run_scenarios_parallel(&grid.scenarios()?, threads))
+    let scenarios = {
+        let _span = hems_obs::span!("sweep.expand_ns");
+        grid.scenarios()?
+    };
+    Ok(run_scenarios_parallel(&scenarios, threads))
 }
 
 /// Runs an explicit scenario list on the calling thread, in list order.
@@ -345,6 +370,7 @@ pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<Sce
     // ~4 chunks per worker balances steal granularity against contention.
     let chunk = (n / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
+    let run_span = hems_obs::span!("sweep.run_ns");
     let buffers: Vec<Vec<(usize, ScenarioResult)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -375,6 +401,8 @@ pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<Sce
             })
             .collect()
     });
+    run_span.finish();
+    let _merge_span = hems_obs::span!("sweep.merge_ns");
     let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
     for (position, result) in buffers.into_iter().flatten() {
         if let Some(slot) = slots.get_mut(position) {

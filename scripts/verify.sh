@@ -46,9 +46,18 @@ HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 echo "== smoke bench: serve (writes BENCH_serve.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-serve --bench serve
 
-# The serve bench self-validates its report with the crate's own JSON
-# parser before exiting; double-check the files landed where the docs say.
-for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json; do
+echo "== obs: overhead + metrics smoke =="
+# Telemetry smoke (DESIGN.md §12): the overhead bench runs one pass of
+# the sweep with telemetry enabled and disabled (the <= 2% assertion only
+# fires in full, non-smoke runs) and writes BENCH_obs.json; the example
+# stands up a loopback server, drives a mixed workload, and asserts the
+# `metrics` query returns sweep/pool/cache/admission series.
+HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench obs
+cargo run --release -q --example metrics_query > /dev/null
+
+# The serve and obs benches self-validate their reports before exiting;
+# double-check the files landed where the docs say.
+for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json; do
     [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
 done
 
