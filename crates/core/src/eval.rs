@@ -171,6 +171,149 @@ impl CpuEval for CpuLut {
     }
 }
 
+/// Batch extension of [`PvSource`]: evaluate a whole slab of candidate
+/// voltages per call.
+///
+/// The default method is a scalar-fallback loop over
+/// [`PvSource::source_power`], so any source is batch-callable and every
+/// implementation answers lane-for-lane identically to its own scalar
+/// path. [`PvLut`] overrides it with the gather-free cursor kernel
+/// ([`PvLut::power_at_many`]) — same bits, one knot-array walk instead of
+/// a locate per point. Solvers that take `&impl PvSourceBatch` therefore
+/// cost nothing extra on exact models and go batch-fast on tables.
+pub trait PvSourceBatch: PvSource {
+    /// Terminal power in watts for a slab of voltages in volts, one
+    /// output lane per input lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `volts.len() != watts_out.len()`.
+    fn source_power_many(&self, volts: &[f64], watts_out: &mut [f64]) {
+        assert_eq!(
+            volts.len(),
+            watts_out.len(),
+            "source_power_many requires equally sized input and output slabs"
+        );
+        for (o, &v) in watts_out.iter_mut().zip(volts) {
+            *o = self.source_power(Volts::new(v)).watts();
+        }
+    }
+}
+
+impl PvSourceBatch for SolarCell {}
+
+impl PvSourceBatch for PvLut {
+    fn source_power_many(&self, volts: &[f64], watts_out: &mut [f64]) {
+        obs::PV_HITS.add(volts.len() as u64);
+        self.power_at_many(volts, watts_out);
+    }
+}
+
+/// Batch extension of [`CpuEval`]: evaluate slabs of candidate supply
+/// voltages per call.
+///
+/// Same contract as [`PvSourceBatch`]: the defaults are scalar-fallback
+/// loops (any [`CpuEval`] is batch-callable, lane-identical to its scalar
+/// path), and [`CpuLut`] overrides them with the cursor kernels.
+pub trait CpuEvalBatch: CpuEval {
+    /// Maximum clock in hertz per lane, zero outside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != hertz_out.len()`.
+    fn fmax_many(&self, vdds: &[f64], hertz_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            hertz_out.len(),
+            "fmax_many requires equally sized input and output slabs"
+        );
+        for (o, &v) in hertz_out.iter_mut().zip(vdds) {
+            *o = self.fmax(Volts::new(v)).hertz();
+        }
+    }
+
+    /// Leakage power in watts per lane (window-edge clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != watts_out.len()`.
+    fn leak_many(&self, vdds: &[f64], watts_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            watts_out.len(),
+            "leak_many requires equally sized input and output slabs"
+        );
+        for (o, &v) in watts_out.iter_mut().zip(vdds) {
+            *o = self.leak(Volts::new(v)).watts();
+        }
+    }
+
+    /// Total power in watts for parallel `(vdd, f)` lanes: dynamic +
+    /// leakage, no window check (mirrors [`CpuEval::ptotal`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three slabs differ in length.
+    fn ptotal_many(&self, vdds: &[f64], freqs: &[f64], watts_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            freqs.len(),
+            "ptotal_many requires equally sized vdd and frequency slabs"
+        );
+        assert_eq!(
+            vdds.len(),
+            watts_out.len(),
+            "ptotal_many requires equally sized input and output slabs"
+        );
+        for ((o, &v), &f) in watts_out.iter_mut().zip(vdds).zip(freqs) {
+            *o = self.ptotal(Volts::new(v), Hertz::new(f)).watts();
+        }
+    }
+
+    /// Energy per cycle in joules per lane (max-speed convention),
+    /// infinite outside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != joules_out.len()`.
+    fn ecycle_many(&self, vdds: &[f64], joules_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            joules_out.len(),
+            "ecycle_many requires equally sized input and output slabs"
+        );
+        for (o, &v) in joules_out.iter_mut().zip(vdds) {
+            *o = self.ecycle(Volts::new(v)).joules();
+        }
+    }
+}
+
+impl CpuEvalBatch for Microprocessor {}
+
+impl CpuEvalBatch for CpuLut {
+    fn fmax_many(&self, vdds: &[f64], hertz_out: &mut [f64]) {
+        obs::CPU_HITS.add(vdds.len() as u64);
+        self.max_frequency_many(vdds, hertz_out);
+    }
+
+    fn leak_many(&self, vdds: &[f64], watts_out: &mut [f64]) {
+        self.leakage_many(vdds, watts_out);
+    }
+
+    fn ptotal_many(&self, vdds: &[f64], freqs: &[f64], watts_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            watts_out.len(),
+            "ptotal_many requires equally sized input and output slabs"
+        );
+        self.total_power_many(vdds, freqs, watts_out);
+    }
+
+    fn ecycle_many(&self, vdds: &[f64], joules_out: &mut [f64]) {
+        self.energy_per_cycle_many(vdds, joules_out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +328,95 @@ mod tests {
         let fast = PvSource::source_power(&lut, v).watts();
         assert!((fast - exact).abs() <= 1e-3 * exact);
         assert_eq!(PvSource::source_voc(&lut), PvSource::source_voc(&cell));
+    }
+
+    /// Deterministic xorshift64* stream for seeded differential tests.
+    fn seeded(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        let mut vs: Vec<f64> = (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let u =
+                    (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+                lo + u * (hi - lo)
+            })
+            .collect();
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vs
+    }
+
+    #[test]
+    fn batch_defaults_match_scalar_lane_for_lane() {
+        // Exact models run the scalar-fallback defaults; the slab must
+        // reproduce the per-point calls to the bit.
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let vs = seeded(7, 65, 0.0, cell.open_circuit_voltage().volts());
+        let mut out = vec![0.0; vs.len()];
+        cell.source_power_many(&vs, &mut out);
+        for (&v, &p) in vs.iter().zip(&out) {
+            assert_eq!(
+                p.to_bits(),
+                cell.source_power(Volts::new(v)).watts().to_bits()
+            );
+        }
+
+        let cpu = Microprocessor::paper_65nm();
+        let vdds = seeded(11, 65, 0.4, 1.05);
+        let freqs: Vec<f64> = vdds.iter().map(|v| v * 4e8).collect();
+        let mut f_out = vec![0.0; vdds.len()];
+        let mut l_out = vec![0.0; vdds.len()];
+        let mut p_out = vec![0.0; vdds.len()];
+        let mut e_out = vec![0.0; vdds.len()];
+        cpu.fmax_many(&vdds, &mut f_out);
+        cpu.leak_many(&vdds, &mut l_out);
+        cpu.ptotal_many(&vdds, &freqs, &mut p_out);
+        cpu.ecycle_many(&vdds, &mut e_out);
+        for (k, &v) in vdds.iter().enumerate() {
+            let vdd = Volts::new(v);
+            assert_eq!(f_out[k].to_bits(), cpu.fmax(vdd).hertz().to_bits());
+            assert_eq!(l_out[k].to_bits(), cpu.leak(vdd).watts().to_bits());
+            assert_eq!(
+                p_out[k].to_bits(),
+                cpu.ptotal(vdd, Hertz::new(freqs[k])).watts().to_bits()
+            );
+            assert_eq!(e_out[k].to_bits(), cpu.ecycle(vdd).joules().to_bits());
+        }
+    }
+
+    #[test]
+    fn lut_batch_overrides_match_their_scalar_trait_path() {
+        let cell = SolarCell::kxob22(Irradiance::FULL_SUN);
+        let pv = PvLut::build_default(cell).unwrap();
+        let vs = seeded(13, 129, -0.1, pv.open_circuit_voltage().volts() + 0.1);
+        let mut out = vec![0.0; vs.len()];
+        pv.source_power_many(&vs, &mut out);
+        for (&v, &p) in vs.iter().zip(&out) {
+            assert_eq!(
+                p.to_bits(),
+                pv.source_power(Volts::new(v)).watts().to_bits()
+            );
+        }
+
+        let lut = CpuLut::build_default(Microprocessor::paper_65nm());
+        let vdds = seeded(17, 129, 0.3, 1.2);
+        let freqs: Vec<f64> = vdds.iter().map(|v| v * 4e8).collect();
+        let mut f_out = vec![0.0; vdds.len()];
+        let mut p_out = vec![0.0; vdds.len()];
+        let mut e_out = vec![0.0; vdds.len()];
+        lut.fmax_many(&vdds, &mut f_out);
+        lut.ptotal_many(&vdds, &freqs, &mut p_out);
+        lut.ecycle_many(&vdds, &mut e_out);
+        for (k, &v) in vdds.iter().enumerate() {
+            let vdd = Volts::new(v);
+            assert_eq!(f_out[k].to_bits(), lut.fmax(vdd).hertz().to_bits());
+            assert_eq!(
+                p_out[k].to_bits(),
+                lut.ptotal(vdd, Hertz::new(freqs[k])).watts().to_bits()
+            );
+            assert_eq!(e_out[k].to_bits(), lut.ecycle(vdd).joules().to_bits());
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! against energy-per-cycle drawn from the source, exposing the frontier a
 //! deployment can pick its trade-off from.
 
-use crate::{CoreError, CpuEval, PvSource};
+use crate::{CoreError, CpuEval, CpuEvalBatch, PvSource};
 use hems_regulator::Regulator;
 use hems_units::{Hertz, Joules, Volts, Watts};
 
@@ -50,7 +50,7 @@ pub struct FrontierPoint {
 pub fn sustainable_frontier(
     cell: &impl PvSource,
     regulator: &dyn Regulator,
-    cpu: &impl CpuEval,
+    cpu: &impl CpuEvalBatch,
     n: usize,
 ) -> Result<Vec<FrontierPoint>, CoreError> {
     if n < 2 {
@@ -63,10 +63,24 @@ pub fn sustainable_frontier(
         .source_mpp()
         .map_err(|e| CoreError::component("solar cell", e))?;
     let (v_min, v_max) = (cpu.processor().v_min(), cpu.processor().v_max());
+    // The grid is ascending, so one batch call fills every candidate's max
+    // clock through the gather-free cursor kernel; the per-point inner
+    // bisection below then touches only the regulator.
+    let vdds: Vec<f64> = (0..n)
+        .map(|i| (v_min + (v_max - v_min) * (i as f64 / (n - 1) as f64)).volts())
+        .collect();
+    let mut fmaxes = vec![0.0; n];
+    cpu.fmax_many(&vdds, &mut fmaxes);
     let mut points = Vec::with_capacity(n);
-    for i in 0..n {
-        let vdd = v_min + (v_max - v_min) * (i as f64 / (n - 1) as f64);
-        let Some(point) = sustainable_point(mpp.voltage, mpp.power, regulator, cpu, vdd) else {
+    for (&vdd, &f_max) in vdds.iter().zip(&fmaxes) {
+        let Some(point) = sustainable_point(
+            mpp.voltage,
+            mpp.power,
+            regulator,
+            cpu,
+            Volts::new(vdd),
+            Hertz::new(f_max),
+        ) else {
             continue;
         };
         points.push(point);
@@ -74,16 +88,17 @@ pub fn sustainable_frontier(
     Ok(points)
 }
 
-/// The largest sustainable clock fraction at one voltage, or `None` when
-/// even the leakage floor cannot be covered.
+/// The largest sustainable clock fraction at one voltage (whose maximum
+/// clock the caller has already evaluated — typically through a batch
+/// kernel), or `None` when even the leakage floor cannot be covered.
 fn sustainable_point(
     v_solar: Volts,
     p_budget: Watts,
     regulator: &dyn Regulator,
     cpu: &impl CpuEval,
     vdd: Volts,
+    f_max: Hertz,
 ) -> Option<FrontierPoint> {
-    let f_max = cpu.fmax(vdd);
     if !f_max.is_positive() {
         return None;
     }

@@ -58,7 +58,7 @@ pub use cachekey::{Canonical, KeyHasher};
 pub use controller::{HolisticConfig, HolisticController, Mode};
 pub use deadline::DeadlinePlan;
 pub use error::CoreError;
-pub use eval::{CpuEval, PvSource};
+pub use eval::{CpuEval, CpuEvalBatch, PvSource, PvSourceBatch};
 pub use frontier::FrontierPoint;
 pub use mep::{MepComparison, SystemMep};
 pub use operating_point::UnregulatedPoint;

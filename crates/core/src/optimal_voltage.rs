@@ -14,7 +14,7 @@
 //! it. The payoff over the unregulated intersection point is Fig. 6b's
 //! "+31 % power, +18 % speed".
 
-use crate::{operating_point, CoreError, CpuEval, PvSource, UnregulatedPoint};
+use crate::{operating_point, CoreError, CpuEval, PvSource, PvSourceBatch, UnregulatedPoint};
 use hems_regulator::Regulator;
 use hems_units::{Efficiency, Hertz, Volts, Watts};
 
@@ -90,7 +90,7 @@ pub fn optimal_regulated_plan(
 /// Returns [`CoreError::Infeasible`] when no rail voltage yields a feasible
 /// plan (e.g. darkness).
 pub fn optimal_joint_plan(
-    cell: &impl PvSource,
+    cell: &impl PvSourceBatch,
     regulator: &dyn Regulator,
     cpu: &impl CpuEval,
 ) -> Result<RegulatedPlan, CoreError> {
@@ -103,18 +103,25 @@ pub fn optimal_joint_plan(
     }
     let mut best: Option<RegulatedPlan> = None;
     const GRID: usize = 96;
+    // The rail grid is ascending, so one batch call evaluates the whole
+    // P-V curve through the source's gather-free cursor kernel (a LUT
+    // walks its knot array exactly once for all 96 rails).
+    let mut rail_volts = [0.0; GRID];
+    for (i, v) in rail_volts.iter_mut().enumerate() {
+        *v = (voc * (0.3 + 0.69 * i as f64 / (GRID - 1) as f64)).volts();
+    }
+    let mut budgets = [0.0; GRID];
+    cell.source_power_many(&rail_volts, &mut budgets);
     // Visit rails in descending-budget order: the incumbent plan becomes
     // near-optimal almost immediately, so the branch-and-bound probe below
     // prunes most of the grid. (The best-frequency rail is not always the
     // max-budget one — SC ratio cliffs — which is why every rail is still
     // probed rather than stopping at the first descent.) The sort is
     // stable, so equal budgets keep their ascending-voltage order.
-    let mut rails: Vec<(Volts, Watts)> = (0..GRID)
-        .filter_map(|i| {
-            let v_solar = voc * (0.3 + 0.69 * i as f64 / (GRID - 1) as f64);
-            let budget = cell.source_power(v_solar);
-            budget.is_positive().then_some((v_solar, budget))
-        })
+    let mut rails: Vec<(Volts, Watts)> = rail_volts
+        .iter()
+        .zip(&budgets)
+        .filter_map(|(&v, &p)| (p > 0.0).then_some((Volts::new(v), Watts::new(p))))
         .collect();
     rails.sort_by(|a, b| b.1.watts().total_cmp(&a.1.watts()));
     for (v_solar, budget) in rails {

@@ -9,8 +9,7 @@
 //! the same deadline, but ≈ 10 % more solar energy is absorbed at β = 20 %
 //! (Fig. 11b).
 
-use crate::CoreError;
-use hems_pv::SolarCell;
+use crate::{CoreError, PvSourceBatch};
 use hems_storage::Capacitor;
 use hems_units::{Joules, Seconds, UnitsError, Volts, Watts};
 
@@ -115,42 +114,104 @@ impl SprintPlan {
     /// harvested solar energy — the quantity behind eqs. 12–13.
     ///
     /// `cell` should already be at the *dimmed* light level; `capacitor`
-    /// provides the initial node voltage.
+    /// provides the initial node voltage. Generic over [`PvSourceBatch`]:
+    /// pass the exact [`hems_pv::SolarCell`] for the reference transient or
+    /// a [`hems_pv::PvLut`] to run the whole schedule off table lookups.
     pub fn compare_against_constant(
         &self,
-        cell: &SolarCell,
+        cell: &impl PvSourceBatch,
         capacitor: &Capacitor,
         dt: Seconds,
     ) -> SprintComparison {
-        let run = |schedule: &dyn Fn(Seconds) -> Watts| -> (Joules, Volts) {
-            let mut cap = capacitor.clone();
-            let mut harvested = Joules::ZERO;
-            let steps = (self.duration.seconds() / dt.seconds()).round() as u64;
-            for i in 0..steps {
-                let t = Seconds::new(i as f64 * dt.seconds());
-                let v = cap.voltage();
-                let p_solar = cell.power_at(v);
-                harvested += p_solar * dt;
-                let p_draw = schedule(t);
+        let mut out = Self::sweep_betas(
+            &[self.beta],
+            self.duration,
+            self.p_nominal,
+            cell,
+            capacitor,
+            dt,
+        )
+        // hems-lint: allow(panic, reason = "a validated plan's own beta re-validates cleanly")
+        .expect("a validated plan's beta sweeps cleanly");
+        // hems-lint: allow(panic, reason = "one beta in produces exactly one comparison")
+        out.pop().expect("one beta in, one comparison out")
+    }
+
+    /// Sweeps a family of sprint factors through one lockstep transient:
+    /// lane 0 integrates the shared constant-speed schedule, and each beta
+    /// gets its own capacitor lane. Every step gathers the lanes' node
+    /// voltages into one slab and makes a single
+    /// [`PvSourceBatch::source_power_many`] call, so the per-step model
+    /// cost is one batch evaluation instead of `betas + 1` scalar solves —
+    /// the shape Fig. 11b's beta sweep wants. Each lane's trajectory is
+    /// bit-identical to running [`SprintPlan::compare_against_constant`]
+    /// for that beta alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when any `beta` is outside `[0, 1)` or the
+    /// duration/power is non-positive, like [`SprintPlan::new`].
+    pub fn sweep_betas(
+        betas: &[f64],
+        duration: Seconds,
+        p_nominal: Watts,
+        cell: &impl PvSourceBatch,
+        capacitor: &Capacitor,
+        dt: Seconds,
+    ) -> Result<Vec<SprintComparison>, CoreError> {
+        let plans: Vec<SprintPlan> = betas
+            .iter()
+            .map(|&beta| SprintPlan::new(beta, duration, p_nominal))
+            .collect::<Result<_, _>>()?;
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Lane 0 is the shared constant schedule; lane k+1 sprints at
+        // betas[k]. SoA slabs are allocated once and reused every step.
+        let lanes = plans.len() + 1;
+        let mut caps: Vec<Capacitor> = (0..lanes).map(|_| capacitor.clone()).collect();
+        let mut harvested = vec![Joules::ZERO; lanes];
+        let mut vs = vec![0.0; lanes];
+        let mut ps = vec![0.0; lanes];
+        let steps = (duration.seconds() / dt.seconds()).round() as u64;
+        for i in 0..steps {
+            let t = Seconds::new(i as f64 * dt.seconds());
+            for (v, cap) in vs.iter_mut().zip(&caps) {
+                *v = cap.voltage().volts();
+            }
+            cell.source_power_many(&vs, &mut ps);
+            let rows = caps.iter_mut().zip(&ps).zip(harvested.iter_mut());
+            for (lane, ((cap, &p), h)) in rows.enumerate() {
+                let p_solar = Watts::new(p);
+                *h += p_solar * dt;
+                // Lane 0 is the constant schedule; lane k+1 sprints betas[k].
+                let p_draw = match lane.checked_sub(1).and_then(|k| plans.get(k)) {
+                    Some(plan) => plan.drawn_power(t),
+                    None => p_nominal,
+                };
                 cap.step_power(p_solar - p_draw, dt);
             }
-            (harvested, cap.voltage())
-        };
-        let (e_const, v_const) = run(&|_t| self.p_nominal);
-        let (e_sprint, v_sprint) = run(&|t| self.drawn_power(t));
-        SprintComparison {
-            e_solar_constant: e_const,
-            e_solar_sprint: e_sprint,
-            v_end_constant: v_const,
-            v_end_sprint: v_sprint,
         }
+        let e_solar_constant = harvested.first().copied().unwrap_or(Joules::ZERO);
+        let v_end_constant = caps.first().map_or(capacitor.voltage(), Capacitor::voltage);
+        Ok(harvested
+            .iter()
+            .zip(&caps)
+            .skip(1)
+            .map(|(&e_solar_sprint, cap)| SprintComparison {
+                e_solar_constant,
+                e_solar_sprint,
+                v_end_constant,
+                v_end_sprint: cap.voltage(),
+            })
+            .collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hems_pv::Irradiance;
+    use hems_pv::{Irradiance, PvLut, SolarCell};
 
     /// The Fig. 11b scenario: light just dimmed to quarter sun, node still
     /// charged to 1.2 V, job draws ~6 mW nominal for 30 ms.
@@ -231,5 +292,56 @@ mod tests {
         assert!(SprintPlan::new(-0.1, Seconds::new(1.0), Watts::new(1.0)).is_err());
         assert!(SprintPlan::new(0.2, Seconds::ZERO, Watts::new(1.0)).is_err());
         assert!(SprintPlan::new(0.2, Seconds::new(1.0), Watts::ZERO).is_err());
+    }
+
+    #[test]
+    fn sweep_betas_matches_per_beta_comparisons_bitwise() {
+        let (cell, cap, _) = fig11_setup();
+        let dt = Seconds::from_micro(20.0);
+        let duration = Seconds::from_milli(30.0);
+        let p = Watts::from_milli(6.0);
+        let betas = [0.0, 0.1, 0.2, 0.4];
+        let swept = SprintPlan::sweep_betas(&betas, duration, p, &cell, &cap, dt).unwrap();
+        assert_eq!(swept.len(), betas.len());
+        for (k, &beta) in betas.iter().enumerate() {
+            let solo = SprintPlan::new(beta, duration, p)
+                .unwrap()
+                .compare_against_constant(&cell, &cap, dt);
+            assert_eq!(
+                swept[k].e_solar_sprint.joules().to_bits(),
+                solo.e_solar_sprint.joules().to_bits(),
+                "beta={beta}"
+            );
+            assert_eq!(
+                swept[k].e_solar_constant.joules().to_bits(),
+                solo.e_solar_constant.joules().to_bits()
+            );
+            assert_eq!(
+                swept[k].v_end_sprint.volts().to_bits(),
+                solo.v_end_sprint.volts().to_bits()
+            );
+        }
+        assert!(SprintPlan::sweep_betas(&[], duration, p, &cell, &cap, dt)
+            .unwrap()
+            .is_empty());
+        assert!(SprintPlan::sweep_betas(&[1.5], duration, p, &cell, &cap, dt).is_err());
+    }
+
+    #[test]
+    fn lut_transient_tracks_the_exact_one() {
+        // The sprint solver is generic over PvSourceBatch: a PvLut-driven
+        // transient must land within the table's ≤0.1 % parity budget of
+        // the exact integration.
+        let (cell, cap, plan) = fig11_setup();
+        let lut = PvLut::build_default(cell.clone()).unwrap();
+        let dt = Seconds::from_micro(20.0);
+        let exact = plan.compare_against_constant(&cell, &cap, dt);
+        let fast = plan.compare_against_constant(&lut, &cap, dt);
+        let rel = (fast.extra_energy_fraction() - exact.extra_energy_fraction()).abs();
+        assert!(rel < 1e-2, "sprint gain diverged by {rel:.2e}");
+        assert!(
+            (fast.e_solar_sprint.joules() - exact.e_solar_sprint.joules()).abs()
+                <= 2e-3 * exact.e_solar_sprint.joules()
+        );
     }
 }

@@ -121,6 +121,83 @@ impl CpuLut {
         self.cpu.power_model().dynamic_energy_per_cycle(vdd)
             + Joules::new(self.leakage(vdd).watts() / f.hertz())
     }
+
+    /// Batch form of [`CpuLut::max_frequency`]: interpolated maximum clock
+    /// in hertz for a slab of supply voltages in volts, zero outside the
+    /// operating window.
+    ///
+    /// Ascending slabs ride the knot array's gather-free monotone cursor;
+    /// every output is bit-identical to the scalar lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != hertz_out.len()`.
+    pub fn max_frequency_many(&self, vdds: &[f64], hertz_out: &mut [f64]) {
+        self.f_max.eval_many(vdds, hertz_out);
+        for (f, &v) in hertz_out.iter_mut().zip(vdds) {
+            if !self.cpu.supports(Volts::new(v)) {
+                *f = 0.0;
+            }
+        }
+    }
+
+    /// Batch form of [`CpuLut::leakage`]: interpolated leakage power in
+    /// watts for a slab of supply voltages in volts (clamped to the window
+    /// edge outside it, like the scalar lookup — and bit-identical to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != watts_out.len()`.
+    pub fn leakage_many(&self, vdds: &[f64], watts_out: &mut [f64]) {
+        self.leak.eval_many(vdds, watts_out);
+    }
+
+    /// Batch form of [`CpuLut::total_power`]: exact dynamic term plus
+    /// interpolated leakage for parallel `(vdd, f)` lanes, in watts.
+    ///
+    /// As with the scalar entry point, the caller is responsible for each
+    /// `f` being achievable at its `vdd`; no window check is performed.
+    /// Outputs are bit-identical to [`CpuLut::total_power`] lane by lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three slabs differ in length.
+    pub fn total_power_many(&self, vdds: &[f64], freqs: &[f64], watts_out: &mut [f64]) {
+        assert_eq!(
+            vdds.len(),
+            freqs.len(),
+            "total_power_many requires equally sized vdd and frequency slabs"
+        );
+        self.leak.eval_many(vdds, watts_out);
+        let model = self.cpu.power_model();
+        for ((p, &v), &f) in watts_out.iter_mut().zip(vdds).zip(freqs) {
+            *p += model.dynamic(Volts::new(v), Hertz::new(f)).watts();
+        }
+    }
+
+    /// Batch form of [`CpuLut::energy_per_cycle`]: joules per cycle at max
+    /// speed for a slab of supply voltages in volts, infinite outside the
+    /// operating window. Bit-identical to the scalar lookup lane by lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vdds.len() != joules_out.len()`.
+    pub fn energy_per_cycle_many(&self, vdds: &[f64], joules_out: &mut [f64]) {
+        // One cursor pass fills the frequency lane; leakage then reuses the
+        // uniform O(1) locate per lane (both tables sample the same grid,
+        // so this stays search-free and bit-identical to the scalar path).
+        self.max_frequency_many(vdds, joules_out);
+        let model = self.cpu.power_model();
+        for (e, &v) in joules_out.iter_mut().zip(vdds) {
+            let f = *e;
+            *e = if f > 0.0 {
+                let vdd = Volts::new(v);
+                (model.dynamic_energy_per_cycle(vdd) + Joules::new(self.leak.eval(v) / f)).joules()
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +277,52 @@ mod tests {
     #[should_panic(expected = "at least 4 knots")]
     fn tiny_tables_are_rejected() {
         let _ = CpuLut::build(Microprocessor::paper_65nm(), 2);
+    }
+
+    #[test]
+    fn batch_lookups_are_bit_identical_to_scalar() {
+        let lut = CpuLut::build_default(Microprocessor::paper_65nm());
+        // Seeded xorshift64* slab spanning past both window edges.
+        let mut state = 0xC0FFEE_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut vdds: Vec<f64> = (0..257).map(|_| 0.3 + next() * 0.9).collect();
+        vdds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let freqs: Vec<f64> = vdds.iter().map(|v| v * 5e8).collect();
+
+        let mut f_out = vec![0.0; vdds.len()];
+        lut.max_frequency_many(&vdds, &mut f_out);
+        let mut l_out = vec![0.0; vdds.len()];
+        lut.leakage_many(&vdds, &mut l_out);
+        let mut p_out = vec![0.0; vdds.len()];
+        lut.total_power_many(&vdds, &freqs, &mut p_out);
+        let mut e_out = vec![0.0; vdds.len()];
+        lut.energy_per_cycle_many(&vdds, &mut e_out);
+
+        for (k, &v) in vdds.iter().enumerate() {
+            let vdd = Volts::new(v);
+            assert_eq!(f_out[k].to_bits(), lut.max_frequency(vdd).hertz().to_bits());
+            assert_eq!(l_out[k].to_bits(), lut.leakage(vdd).watts().to_bits());
+            assert_eq!(
+                p_out[k].to_bits(),
+                lut.total_power(vdd, Hertz::new(freqs[k])).watts().to_bits()
+            );
+            assert_eq!(
+                e_out[k].to_bits(),
+                lut.energy_per_cycle(vdd).joules().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn total_power_many_rejects_mismatched_slabs() {
+        let lut = CpuLut::build_default(Microprocessor::paper_65nm());
+        let mut out = [0.0; 2];
+        lut.total_power_many(&[0.6, 0.7], &[1e8], &mut out);
     }
 }

@@ -14,6 +14,10 @@
 //! 5. **crate hygiene** (`hygiene`) — crate roots carry
 //!    `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`, and every
 //!    public `*Error` type implements `Display` and `std::error::Error`.
+//! 6. **batch-kernel hygiene** (`batch`) — `*_many` kernels write into
+//!    caller-provided slabs; no per-element `Vec` traffic (`.push`,
+//!    `.collect`, `vec!`, `Vec::new`/`with_capacity`) in their bodies
+//!    outside tests.
 //!
 //! All checks run on the token stream of a [`SourceFile`]; test regions
 //! are exempt everywhere, and inline `// hems-lint: allow(...)`
@@ -129,6 +133,7 @@ pub fn check_file(file: &SourceFile, cfg: &RuleConfig) -> (Vec<Finding>, ErrorTy
     if is_crate_root(&file.rel_path) {
         scan_root_attributes(file, &mut findings);
     }
+    scan_batch_kernels(file, &mut findings);
     let facts = collect_error_type_facts(file);
     (findings, facts)
 }
@@ -455,6 +460,104 @@ fn scan_clock(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Batch-kernel hygiene: a `*_many` kernel's contract is to write into
+/// caller-provided output slabs, so its body must not pay per-element
+/// `Vec` traffic. Flags `.push(..)`, `.collect()`, `vec![..]` and
+/// `Vec::new`/`Vec::with_capacity` inside any non-test `fn *_many` body.
+fn scan_batch_kernels(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while let Some(token) = tokens.get(i) {
+        let in_test = file.in_test.get(i).copied().unwrap_or(false);
+        if token.is_comment() || in_test || !(token.kind == TokenKind::Ident && token.text == "fn")
+        {
+            i += 1;
+            continue;
+        }
+        let Some((name_index, name)) = next_significant(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !(name.kind == TokenKind::Ident && name.text.ends_with("_many")) {
+            i += 1;
+            continue;
+        }
+        let kernel = name.text.clone();
+        // Locate the body `{`; a `;` first means a bodiless trait decl.
+        let mut j = name_index + 1;
+        let mut open = None;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokenKind::Punct && t.text == ";" {
+                break;
+            }
+            if t.kind == TokenKind::Punct && t.text == "{" {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let flag = |line: u32, what: &str, findings: &mut Vec<Finding>| {
+            push_unless_allowed(
+                file,
+                findings,
+                Finding::new(
+                    "batch",
+                    &file.rel_path,
+                    line,
+                    format!(
+                        "{what} inside batch kernel `{kernel}`: `*_many` kernels \
+                         write into caller-provided slabs, not per-element Vec allocations"
+                    ),
+                ),
+            );
+        };
+        // Walk the brace-balanced body.
+        let mut depth = 0usize;
+        let mut k = open;
+        while let Some(t) = tokens.get(k) {
+            if t.is_comment() {
+                k += 1;
+                continue;
+            }
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") => depth += 1,
+                (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokenKind::Ident, m @ ("push" | "collect")) => {
+                    let after_dot = prev_significant(tokens, k)
+                        .is_some_and(|(_, p)| p.kind == TokenKind::Punct && p.text == ".");
+                    if after_dot {
+                        flag(t.line, &format!("`.{m}()`"), findings);
+                    }
+                }
+                (TokenKind::Ident, "vec") => {
+                    let is_macro = next_significant(tokens, k + 1)
+                        .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == "!");
+                    if is_macro {
+                        flag(t.line, "`vec!`", findings);
+                    }
+                }
+                (TokenKind::Ident, m @ ("new" | "with_capacity"))
+                    if is_path_call(tokens, k, "Vec") =>
+                {
+                    flag(t.line, &format!("`Vec::{m}`"), findings);
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
 /// `true` when the ident at `i` is preceded by `<prefix>::` (path call).
 fn is_path_call(tokens: &[Token], i: usize, prefix: &str) -> bool {
     let Some((c1, colon1)) = prev_significant(tokens, i) else {
@@ -763,6 +866,52 @@ mod tests {
         let allowed =
             "fn f() {\n    // hems-lint: allow(clock, reason = \"demo\")\n    Instant::now();\n}\n";
         assert!(check(SERVE, allowed).is_empty());
+    }
+
+    #[test]
+    fn batch_rule_flags_vec_traffic_in_many_kernels() {
+        let rel = "crates/pv/src/demo.rs";
+        let batch = |src: &str| -> Vec<Finding> {
+            check(rel, src)
+                .into_iter()
+                .filter(|f| f.rule == "batch")
+                .collect()
+        };
+        for (src, needle) in [
+            (
+                "fn eval_many(&self, xs: &[f64]) { out.push(x); }",
+                ".push()",
+            ),
+            (
+                "fn eval_many(&self, xs: &[f64]) { let v: Vec<f64> = xs.iter().collect(); }",
+                ".collect()",
+            ),
+            ("fn eval_many(&self) { let v = vec![0.0; 8]; }", "`vec!`"),
+            ("fn eval_many(&self) { let v = Vec::new(); }", "`Vec::new`"),
+            (
+                "fn eval_many(&self) { let v = Vec::with_capacity(8); }",
+                "`Vec::with_capacity`",
+            ),
+        ] {
+            let findings = batch(src);
+            assert_eq!(findings.len(), 1, "{src}");
+            assert!(findings[0].message.contains(needle), "{src}");
+            assert!(findings[0].message.contains("eval_many"), "{src}");
+        }
+        // Slab writes, non-kernel fns, trait decls, tests, and allows pass.
+        for src in [
+            "fn eval_many(&self, xs: &[f64], out: &mut [f64]) { for (o, &x) in out.iter_mut().zip(xs) { *o = x; } }",
+            "fn collect_all(&self) { out.push(x); }",
+            "trait T { fn eval_many(&self, xs: &[f64], out: &mut [f64]); }",
+            "#[cfg(test)] mod tests { fn eval_many_check() { v.push(1); } }",
+            "fn eval_many(&self) {\n    // hems-lint: allow(batch, reason = \"demo\")\n    out.push(x);\n}\n",
+        ] {
+            assert!(batch(src).is_empty(), "{src}");
+        }
+        // A default trait method body is still a kernel body.
+        let defaulted =
+            "trait T { fn eval_many(&self, xs: &[f64]) -> Vec<f64> { xs.iter().copied().collect() } }";
+        assert_eq!(batch(defaulted).len(), 1);
     }
 
     #[test]

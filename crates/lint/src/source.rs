@@ -12,7 +12,9 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::report::Finding;
 
 /// Rule identifiers an allow directive may name.
-pub const RULE_NAMES: [&str; 6] = ["panic", "index", "units", "timing", "clock", "hygiene"];
+pub const RULE_NAMES: [&str; 7] = [
+    "panic", "index", "units", "timing", "clock", "hygiene", "batch",
+];
 
 /// The directive marker looked for inside line comments.
 pub const DIRECTIVE_MARKER: &str = "hems-lint:";

@@ -201,6 +201,34 @@ impl PvLut {
     pub fn mpp(&self) -> Mpp {
         self.mpp
     }
+
+    /// Batch form of [`PvLut::current_at`]: interpolated terminal current
+    /// in amps for a slab of voltages in volts, one output per input.
+    ///
+    /// Sorted (ascending) voltage slabs take the gather-free monotone-cursor
+    /// path through the knot array; every output is bit-identical to the
+    /// scalar lookup either way. Clamping outside `[0, Voc]` matches
+    /// [`PvLut::current_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `volts.len() != amps_out.len()`.
+    pub fn current_at_many(&self, volts: &[f64], amps_out: &mut [f64]) {
+        self.current.eval_many(volts, amps_out);
+    }
+
+    /// Batch form of [`PvLut::power_at`]: interpolated terminal power in
+    /// watts for a slab of voltages in volts, one output per input.
+    ///
+    /// Same cursor fast path, clamping, and bit-parity contract as
+    /// [`PvLut::current_at_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `volts.len() != watts_out.len()`.
+    pub fn power_at_many(&self, volts: &[f64], watts_out: &mut [f64]) {
+        self.power.eval_many(volts, watts_out);
+    }
 }
 
 #[cfg(test)]
@@ -302,5 +330,33 @@ mod tests {
     #[should_panic(expected = "at least 4 knots")]
     fn tiny_tables_are_rejected() {
         let _ = PvLut::build(SolarCell::kxob22(Irradiance::FULL_SUN), 3);
+    }
+
+    #[test]
+    fn batch_lookups_are_bit_identical_to_scalar() {
+        // Seeded xorshift64* queries spanning past both clamp edges.
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for g in LEVELS {
+            let cell = SolarCell::kxob22(Irradiance::new(g).unwrap());
+            let lut = PvLut::build_default(cell).unwrap();
+            let voc = lut.open_circuit_voltage().volts();
+            let mut vs: Vec<f64> = (0..301).map(|_| -0.1 + next() * (voc + 0.3)).collect();
+            vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut p = vec![0.0; vs.len()];
+            let mut i = vec![0.0; vs.len()];
+            lut.power_at_many(&vs, &mut p);
+            lut.current_at_many(&vs, &mut i);
+            for (k, &v) in vs.iter().enumerate() {
+                let v = Volts::new(v);
+                assert_eq!(p[k].to_bits(), lut.power_at(v).watts().to_bits());
+                assert_eq!(i[k].to_bits(), lut.current_at(v).amps().to_bits());
+            }
+        }
     }
 }

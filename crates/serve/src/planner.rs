@@ -18,7 +18,12 @@
 //!
 //! Every query runs the *exact* device models — the service's latency
 //! budget is the plan cache, not the LUT fast path, so misses pay the
-//! reference-quality solve and hits are free.
+//! reference-quality solve and hits are free. Sweep misses additionally
+//! expose their scenario through [`scenario_for`] so the server can run a
+//! whole micro-batch of them through the sweep engine's chunked batch
+//! entry (`hems_sim::sweep::run_scenarios_chunked`) — same exact models,
+//! byte-identical answers, one pool round-trip per chunk instead of per
+//! key — and render each outcome with [`sweep_answer`].
 
 use crate::json::Value;
 use crate::proto::{effective_duration, QueryKind, ScenarioSpec};
@@ -203,16 +208,31 @@ fn sprint_plan(job: &PlanJob) -> Result<Value, String> {
     ]))
 }
 
-fn sweep_summary(job: &PlanJob) -> Result<Value, String> {
-    let scenario = Scenario {
-        index: 0,
+/// Materializes the transient scenario a sweep-summary job describes —
+/// shared by the single-miss path here and the server's batched sweep
+/// path. `index` is the scenario's position in whatever list the caller
+/// assembles (0 for a solo run).
+pub fn scenario_for(job: &PlanJob, index: usize) -> Scenario {
+    Scenario {
+        index,
         label: scenario_label(job),
         config: job.config.clone(),
         policy: job.policy.clone(),
         v_initial: Volts::new(job.spec.v_initial),
         duration: effective_duration(&job.spec),
-    };
-    let result = run_scenario(&scenario);
+    }
+}
+
+fn sweep_summary(job: &PlanJob) -> Result<Value, String> {
+    sweep_answer(run_scenario(&scenario_for(job, 0)))
+}
+
+/// Renders a sweep engine outcome into the `sweep_summary` answer object.
+///
+/// # Errors
+///
+/// Returns the scenario's own rendered error when the run was infeasible.
+pub fn sweep_answer(result: hems_sim::sweep::ScenarioResult) -> Result<Value, String> {
     let summary = result.summary?;
     Ok(Value::obj(vec![
         ("label", Value::str(result.label)),
@@ -336,6 +356,29 @@ mod tests {
         let result = answer(&job(QueryKind::SweepSummary, 1.0)).unwrap();
         assert!(result.get("harvested_j").and_then(Value::as_f64).unwrap() > 0.0);
         assert!(result.get("total_cycles").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batched_sweep_answers_are_byte_identical_to_solo_ones() {
+        // The server runs a micro-batch of sweep misses through the sweep
+        // engine's chunked entry; both paths use the exact models, so the
+        // rendered answers must agree byte-for-byte.
+        let jobs: Vec<PlanJob> = [1.0, 0.5, 0.25]
+            .into_iter()
+            .map(|g| job(QueryKind::SweepSummary, g))
+            .collect();
+        let scenarios: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| scenario_for(j, i))
+            .collect();
+        let pool = hems_sim::WorkerPool::new(2);
+        let batched = hems_sim::sweep::run_scenarios_chunked(&scenarios, &pool, scenarios.len());
+        for (j, result) in jobs.iter().zip(batched) {
+            let solo = answer(j).unwrap().render();
+            let via_batch = sweep_answer(result).unwrap().render();
+            assert_eq!(solo, via_batch);
+        }
     }
 
     #[test]

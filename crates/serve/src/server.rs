@@ -543,24 +543,71 @@ fn batch_loop(shared: &Arc<Shared>) {
         }
         shared.stats.record_batch(jobs.len());
 
+        // Partition the deduped misses: sweep summaries ride the sweep
+        // engine's chunked batch entry — the whole micro-batch becomes one
+        // scenario list, whole chunks travel the pool per job, and answers
+        // come back in list order through the same exact device models, so
+        // responses stay byte-identical to the per-job path. Everything
+        // else (analytic solves, plus any chaos-injected job so the fault
+        // hook keeps its per-key blast radius) takes a pool slot of its
+        // own via run_jobs_result.
+        let mut unit_jobs: Vec<(u64, PlanJob, bool)> = Vec::new();
+        let mut sweep_jobs: Vec<(u64, PlanJob)> = Vec::new();
+        for job in jobs {
+            let nth = shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed) + 1;
+            let inject = shared
+                .config
+                .inject_panic_one_in
+                .is_some_and(|n| n > 0 && nth.is_multiple_of(n));
+            if job.kind == QueryKind::SweepSummary && !inject {
+                sweep_jobs.push((job.key, job));
+            } else {
+                unit_jobs.push((job.key, job, inject));
+            }
+        }
+
+        // Outcome per key: Ok(answer-or-semantic-error) or Err(fault text).
+        type KeyedOutcome = (u64, Result<Result<crate::json::Value, String>, String>);
+        let mut outcomes: Vec<KeyedOutcome> = Vec::new();
+        if !sweep_jobs.is_empty() {
+            let scenarios: Vec<_> = sweep_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (_, job))| planner::scenario_for(job, i))
+                .collect();
+            // The integrator is panic-free by contract; the guard keeps a
+            // violation degrading this batch's sweep keys (retryably)
+            // instead of killing the batcher thread.
+            let chunked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                hems_sim::sweep::run_scenarios_chunked(
+                    &scenarios,
+                    &shared.pool,
+                    hems_sim::sweep::BATCH_LANES,
+                )
+            }));
+            match chunked {
+                Ok(results) => {
+                    for ((key, _), result) in sweep_jobs.iter().zip(results) {
+                        outcomes.push((*key, Ok(planner::sweep_answer(result))));
+                    }
+                }
+                Err(_) => {
+                    for (key, _) in &sweep_jobs {
+                        outcomes
+                            .push((*key, Err("internal fault: sweep batch paniced".to_string())));
+                    }
+                }
+            }
+        }
+
         // run_jobs_result isolates a panicking solve to its own slot:
         // that key's waiters get an error response and every other job
         // in the batch (and the pool itself) carries on.
-        let keys: Vec<u64> = jobs.iter().map(|job| job.key).collect();
-        let inject: Vec<bool> = jobs
-            .iter()
-            .map(|_| {
-                let nth = shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed) + 1;
-                shared
-                    .config
-                    .inject_panic_one_in
-                    .is_some_and(|n| n > 0 && nth.is_multiple_of(n))
-            })
-            .collect();
+        let unit_keys: Vec<u64> = unit_jobs.iter().map(|(key, _, _)| *key).collect();
         let answers = shared.pool.run_jobs_result(
-            jobs.into_iter()
-                .zip(inject)
-                .map(|(job, inject)| {
+            unit_jobs
+                .into_iter()
+                .map(|(_, job, inject)| {
                     move || {
                         if inject {
                             // hems-lint: allow(panic, reason = "chaos hook: opt-in injected worker fault, caught by run_jobs_result")
@@ -571,8 +618,14 @@ fn batch_loop(shared: &Arc<Shared>) {
                 })
                 .collect::<Vec<_>>(),
         );
+        for (key, outcome) in unit_keys.into_iter().zip(answers) {
+            outcomes.push((
+                key,
+                outcome.map_err(|panic| format!("internal fault: {}", panic.message())),
+            ));
+        }
 
-        for (key, outcome) in keys.into_iter().zip(answers) {
+        for (key, outcome) in outcomes {
             let pendings = waiters.remove(&key).unwrap_or_default();
             match outcome {
                 Ok(Ok(result)) => {
@@ -595,13 +648,12 @@ fn batch_loop(shared: &Arc<Shared>) {
                         shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));
                     }
                 }
-                Err(panic) => {
+                Err(message) => {
                     // A worker panic is a *fault*, not a verdict about the
                     // request: only this key's waiters degrade (the rest of
                     // the batch already has answers) and the response is
                     // marked retryable so a well-behaved client resubmits.
                     shared.stats.faults.inc();
-                    let message = format!("internal fault: {}", panic.message());
                     for p in pendings {
                         write_line(&p.conn, &retryable_error_response(&p.id, &message));
                         shared.stats.record_latency_ns(elapsed_ns(p.accepted_at));

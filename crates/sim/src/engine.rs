@@ -2,8 +2,8 @@ use crate::{
     ControlDecision, Controller, EnergyLedger, EventKind, EventLog, Job, JobQueue, LightProfile,
     PowerPath, Sample, SimError, WaveformRecorder,
 };
-use hems_cpu::Microprocessor;
-use hems_pv::SolarCell;
+use hems_cpu::{CpuLut, Microprocessor};
+use hems_pv::{PvLut, SolarCell};
 use hems_regulator::{AnyRegulator, Regulator, ScRegulator};
 use hems_storage::{Capacitor, ComparatorBank, Crossing};
 use hems_units::{Cycles, Efficiency, Farads, Hertz, Seconds, UnitsError, Volts, Watts};
@@ -174,6 +174,8 @@ pub struct Simulation {
     last_vdd: Volts,
     stall_until: Seconds,
     total_cycles: Cycles,
+    pv_lut: Option<PvLut>,
+    cpu_lut: Option<CpuLut>,
 }
 
 impl Simulation {
@@ -217,6 +219,8 @@ impl Simulation {
             last_vdd: Volts::ZERO,
             stall_until: Seconds::ZERO,
             total_cycles: Cycles::ZERO,
+            pv_lut: None,
+            cpu_lut: None,
         })
     }
 
@@ -281,8 +285,98 @@ impl Simulation {
             .push(self.now, EventKind::Note { text: text.into() });
     }
 
+    /// Installs device LUTs for the step hot path: the PV table replaces the
+    /// per-step implicit-diode bisection and the CPU table replaces the
+    /// closed-form frequency/power evaluation inside [`resolve`]. Results
+    /// then carry the LUT-parity contract (≤ 0.1 % on device quantities)
+    /// instead of matching the exact models bitwise, but remain bitwise
+    /// deterministic run-to-run for a fixed pair of tables.
+    ///
+    /// The PV table is only consulted while its irradiance matches the
+    /// light profile's current value; under any other light the simulation
+    /// silently falls back to the exact cell, so installing a LUT is always
+    /// safe but only profitable for constant-light scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a table was built for different hardware
+    /// than this simulation's configuration.
+    pub fn install_device_luts(
+        &mut self,
+        pv: Option<PvLut>,
+        cpu: Option<CpuLut>,
+    ) -> Result<(), SimError> {
+        if let Some(lut) = &pv {
+            if lut.cell().model() != self.config.cell.model() {
+                return Err(SimError::component(
+                    "pv lut",
+                    "table was built for a different solar-cell model",
+                ));
+            }
+        }
+        if let Some(lut) = &cpu {
+            if lut.cpu() != &self.config.cpu {
+                return Err(SimError::component(
+                    "cpu lut",
+                    "table was built for a different microprocessor",
+                ));
+            }
+        }
+        self.pv_lut = pv;
+        self.cpu_lut = cpu;
+        Ok(())
+    }
+
+    /// Harvest power at `v_solar` under the current light: the installed PV
+    /// LUT when its irradiance matches, the exact cell otherwise.
+    fn harvest_power(&self, v_solar: Volts) -> Watts {
+        match &self.pv_lut {
+            Some(lut) if lut.irradiance() == self.cell.irradiance() => lut.power_at(v_solar),
+            _ => self.cell.power_at(v_solar),
+        }
+    }
+
+    fn cpu_fmax(&self, vdd: Volts) -> Hertz {
+        match &self.cpu_lut {
+            Some(lut) => lut.max_frequency(vdd),
+            None => self.config.cpu.max_frequency(vdd),
+        }
+    }
+
+    fn cpu_ptotal(&self, vdd: Volts, f: Hertz) -> Watts {
+        match &self.cpu_lut {
+            Some(lut) => lut.total_power(vdd, f),
+            None => self.config.cpu.power_model().total(vdd, f),
+        }
+    }
+
+    fn cpu_leakage(&self, vdd: Volts) -> Watts {
+        match &self.cpu_lut {
+            Some(lut) => lut.leakage(vdd),
+            None => self.config.cpu.power_model().leakage(vdd),
+        }
+    }
+
     /// Advances one timestep under `controller`.
     pub fn step(&mut self, controller: &mut dyn Controller) {
+        self.step_inner(controller, None);
+    }
+
+    /// Advances one timestep with the harvest power supplied by the caller.
+    ///
+    /// The batch sweep engine gathers the pre-step node voltages of a whole
+    /// lane chunk into one slab, evaluates them through a single
+    /// [`PvLut::power_at_many`] call, and feeds each lane its value here —
+    /// the lane's own per-point evaluation is skipped. `p_harvest` must be
+    /// the device model's power at [`Simulation::v_solar`] under the current
+    /// light; the batch kernels are bit-identical to their scalar
+    /// counterparts lane-for-lane, so results cannot depend on how lanes
+    /// were grouped into slabs.
+    pub fn step_with_harvest(&mut self, controller: &mut dyn Controller, p_harvest: Watts) {
+        self.step_inner(controller, Some(p_harvest));
+    }
+
+    fn step_inner(&mut self, controller: &mut dyn Controller, supplied_harvest: Option<Watts>) {
         let dt = self.config.dt;
         self.cell.set_irradiance(self.light.at(self.now));
         let v_solar = self.capacitor.voltage();
@@ -333,7 +427,7 @@ impl Simulation {
             if self.now < self.stall_until && !resolved.browned_out {
                 // Stalled: clock-gated, only leakage flows to the core.
                 resolved.frequency = Hertz::ZERO;
-                let p_leak = self.config.cpu.power_model().leakage(resolved.vdd);
+                let p_leak = self.cpu_leakage(resolved.vdd);
                 resolved.p_drawn *= if resolved.p_cpu.is_positive() {
                     p_leak / resolved.p_cpu
                 } else {
@@ -345,7 +439,7 @@ impl Simulation {
         if resolved.vdd.is_positive() {
             self.last_vdd = resolved.vdd;
         }
-        let p_harvest = self.cell.power_at(v_solar);
+        let p_harvest = supplied_harvest.unwrap_or_else(|| self.harvest_power(v_solar));
         // Always-on overhead: board standby plus capacitor self-discharge.
         let p_standby = if v_solar.is_positive() {
             self.config.p_standby + self.capacitor.leakage_power()
@@ -475,8 +569,8 @@ impl Simulation {
                 if vdd < cpu.v_min() {
                     return ResolvedStep::browned_out();
                 }
-                let frequency = cpu.max_frequency(vdd) * fraction;
-                let p_cpu = cpu.power_model().total(vdd, frequency);
+                let frequency = self.cpu_fmax(vdd) * fraction;
+                let p_cpu = self.cpu_ptotal(vdd, frequency);
                 ResolvedStep {
                     effective_path: PowerPath::Bypass,
                     vdd,
@@ -505,8 +599,8 @@ impl Simulation {
                 if !cpu.supports(vdd) {
                     return ResolvedStep::browned_out();
                 }
-                let frequency = cpu.max_frequency(vdd) * fraction;
-                let p_cpu = cpu.power_model().total(vdd, frequency);
+                let frequency = self.cpu_fmax(vdd) * fraction;
+                let p_cpu = self.cpu_ptotal(vdd, frequency);
                 match self.config.regulator.convert(v_solar, vdd, p_cpu) {
                     Ok(conv) => ResolvedStep {
                         effective_path: PowerPath::Regulated { vdd },
@@ -801,6 +895,86 @@ mod tests {
             Volts::new(5.0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn device_luts_track_the_exact_step_path() {
+        let run = |with_luts: bool| {
+            let config = SystemConfig::paper_sc_system().unwrap();
+            let light = LightProfile::constant(Irradiance::FULL_SUN);
+            let mut sim = Simulation::new(config.clone(), light, Volts::new(1.1)).unwrap();
+            if with_luts {
+                let pv = PvLut::build_default(config.cell.clone()).unwrap();
+                let cpu = CpuLut::build_default(config.cpu.clone());
+                sim.install_device_luts(Some(pv), Some(cpu)).unwrap();
+            }
+            let mut ctl = FixedVoltageController::new(Volts::new(0.55));
+            sim.run(&mut ctl, Seconds::from_milli(100.0))
+        };
+        let exact = run(false);
+        let lut = run(true);
+        // Same discrete behaviour, device quantities within the transient
+        // tolerance that per-step LUT error integrates to.
+        assert_eq!(exact.brownouts, lut.brownouts);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-18);
+        assert!(
+            rel(
+                lut.ledger.harvested.joules(),
+                exact.ledger.harvested.joules()
+            ) < 1e-2
+        );
+        assert!(rel(lut.total_cycles.count(), exact.total_cycles.count()) < 1e-2);
+        assert!((lut.final_v_solar - exact.final_v_solar).abs() < Volts::from_milli(5.0));
+    }
+
+    #[test]
+    fn mismatched_luts_are_rejected_and_wrong_light_falls_back() {
+        // A table built for different hardware is refused at install time.
+        let mut sim = sim_at(1.1);
+        let other_model = hems_pv::SolarCellModel::new(
+            hems_units::Amps::from_milli(5.0),
+            Volts::new(1.2),
+            Volts::new(0.15),
+            hems_units::Ohms::new(0.5),
+        )
+        .unwrap();
+        let other_cell = SolarCell::new(other_model, Irradiance::FULL_SUN);
+        let pv = PvLut::build_default(other_cell).unwrap();
+        assert!(sim.install_device_luts(Some(pv), None).is_err());
+
+        // Right model, wrong irradiance: installs fine, but every step under
+        // the mismatched light takes the exact path, so the run is bitwise
+        // the plain one.
+        let run = |stale_lut: bool| {
+            let config = SystemConfig::paper_sc_system().unwrap();
+            let light = LightProfile::constant(Irradiance::FULL_SUN);
+            let mut sim = Simulation::new(config, light, Volts::new(1.1)).unwrap();
+            if stale_lut {
+                let half_sun_cell = SolarCell::kxob22(Irradiance::HALF_SUN);
+                let pv = PvLut::build_default(half_sun_cell).unwrap();
+                sim.install_device_luts(Some(pv), None).unwrap();
+            }
+            let mut ctl = FixedVoltageController::new(Volts::new(0.55));
+            sim.run(&mut ctl, Seconds::from_milli(50.0))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn step_with_harvest_matches_step_when_fed_the_same_model() {
+        let config = SystemConfig::paper_sc_system().unwrap();
+        let light = LightProfile::constant(Irradiance::FULL_SUN);
+        let mut plain = Simulation::new(config.clone(), light.clone(), Volts::new(1.1)).unwrap();
+        let mut fed = Simulation::new(config.clone(), light, Volts::new(1.1)).unwrap();
+        let mut ctl_a = FixedVoltageController::new(Volts::new(0.55));
+        let mut ctl_b = FixedVoltageController::new(Volts::new(0.55));
+        let cell = config.cell;
+        for _ in 0..2000 {
+            plain.step(&mut ctl_a);
+            let p = cell.power_at(fed.v_solar());
+            fed.step_with_harvest(&mut ctl_b, p);
+        }
+        assert_eq!(plain.summary(), fed.summary());
     }
 
     #[test]

@@ -21,7 +21,26 @@
 //! Work is distributed by an atomic cursor over fixed-size chunks rather
 //! than pre-partitioned ranges, so a worker that draws short scenarios
 //! (e.g. dark cells that brown out instantly) keeps pulling work instead
-//! of idling.
+//! of idling. Requests smaller than the spawn cost can amortize degrade
+//! to the serial path (see [`MIN_SCENARIOS_PER_WORKER`]), so parallel
+//! entry points never run slower than serial at small scenario counts.
+//!
+//! # The batch engine
+//!
+//! [`run_batch`] / [`run_scenarios_batch`] trade the exact per-step device
+//! models for table-driven ones and step compatible scenarios in lockstep:
+//! scenarios are grouped by identical (cell, processor, timestep,
+//! duration), each group gets one [`PvLut`]/[`CpuLut`] pair, and groups are
+//! cut into [`BATCH_LANES`]-wide chunks whose pre-step node voltages are
+//! gathered into one cache-line-sized slab and evaluated through a single
+//! [`PvLut::power_at_many`] call per step (structure-of-arrays across
+//! lanes). Results carry the LUT-parity contract (device quantities within
+//! ≤ 0.1 % per step) rather than bitwise equality with [`run_serial`], but
+//! are bitwise deterministic for any thread count because the batch
+//! kernels are lane-for-lane bit-identical to their scalar forms — a
+//! lane's arithmetic cannot depend on which lanes share its slab. Groups
+//! whose tables cannot be built (a dark cell has no power table) fall back
+//! to the exact scalar path, result-for-result identical to [`run_serial`].
 //!
 //! ```no_run
 //! use hems_sim::{sweep, SystemConfig};
@@ -41,12 +60,13 @@
 
 use crate::{
     Controller, DutyCycleController, FixedVoltageController, LightProfile, SimError, Simulation,
-    SimulationSummary, SystemConfig,
+    SimulationSummary, SystemConfig, WorkerPool,
 };
-use hems_pv::Irradiance;
+use hems_cpu::CpuLut;
+use hems_pv::{Irradiance, PvLut};
 use hems_regulator::{AnyRegulator, Regulator, RegulatorKind};
 use hems_storage::Capacitor;
-use hems_units::{Farads, Seconds, Volts};
+use hems_units::{Farads, Seconds, Volts, Watts};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::LazyLock;
 
@@ -242,6 +262,52 @@ impl SweepGrid {
         }
         Ok(out)
     }
+
+    /// Expands the grid exactly once into a reusable handle.
+    ///
+    /// [`SweepGrid::scenarios`] re-pays the full cartesian-product
+    /// expansion — config clones, label formatting, capacitor
+    /// construction — on every call. Callers that run the same grid
+    /// repeatedly (the bench harness, the sweep service's batch path)
+    /// expand once and borrow [`ExpandedGrid::scenarios`] per run instead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepGrid::scenarios`].
+    pub fn expanded(&self) -> Result<ExpandedGrid, SimError> {
+        Ok(ExpandedGrid {
+            scenarios: self.scenarios()?,
+        })
+    }
+}
+
+/// A [`SweepGrid`] expanded exactly once: borrow the scenario list any
+/// number of times without re-paying the expansion cost per run.
+#[derive(Debug, Clone)]
+pub struct ExpandedGrid {
+    scenarios: Vec<Scenario>,
+}
+
+impl ExpandedGrid {
+    /// The expanded scenarios, in grid (row-major) order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when the grid expanded to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Consumes the handle, yielding the owned scenario list.
+    pub fn into_scenarios(self) -> Vec<Scenario> {
+        self.scenarios
+    }
 }
 
 /// One expanded grid point: everything a worker needs, owned.
@@ -363,7 +429,7 @@ pub fn run_scenarios_serial(scenarios: &[Scenario]) -> Vec<ScenarioResult> {
 /// a bug, not a data condition).
 pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
     let n = scenarios.len();
-    let threads = threads.max(1).min(n.max(1));
+    let threads = effective_threads(threads, n);
     if threads == 1 {
         return run_scenarios_serial(scenarios);
     }
@@ -419,6 +485,279 @@ pub fn run_scenarios_parallel(scenarios: &[Scenario], threads: usize) -> Vec<Sce
         "every scenario position produced a result"
     );
     results
+}
+
+/// Scenarios per worker below which spawning another scoped thread costs
+/// more than it recovers: spawn-plus-join of one worker measures in the
+/// tens of microseconds on the bench host while even the shortest grid
+/// scenarios integrate hundreds of timesteps (~0.5 ms), so a worker must
+/// amortize its spawn over at least this many scenarios to come out ahead.
+pub const MIN_SCENARIOS_PER_WORKER: usize = 2;
+
+/// The adaptive serial cutover: clamps a requested worker count so every
+/// worker has at least [`MIN_SCENARIOS_PER_WORKER`] scenarios, degrading
+/// to 1 — the serial path, no threads spawned — when the list is too
+/// small to split profitably. This keeps the parallel entry points from
+/// ever running slower than serial at small scenario counts.
+fn effective_threads(requested: usize, n: usize) -> usize {
+    requested.max(1).min((n / MIN_SCENARIOS_PER_WORKER).max(1))
+}
+
+/// Runs an explicit scenario list through a caller-owned [`WorkerPool`],
+/// handing each worker a whole chunk of up to `lanes` scenarios per job
+/// instead of one scenario per job — the per-job queue round-trip is paid
+/// once per chunk. Scenarios run through the *exact* device models, so the
+/// result is bit-identical to [`run_scenarios_serial`] for any pool size
+/// and any `lanes ≥ 1` (`0` is treated as `1`); jobs return in submission
+/// order, which is chunk order, which is list order.
+pub fn run_scenarios_chunked(
+    scenarios: &[Scenario],
+    pool: &WorkerPool,
+    lanes: usize,
+) -> Vec<ScenarioResult> {
+    let lanes = lanes.max(1);
+    let jobs: Vec<_> = scenarios
+        .chunks(lanes)
+        .map(|chunk| {
+            let chunk: Vec<Scenario> = chunk.to_vec();
+            move || chunk.iter().map(run_scenario).collect::<Vec<_>>()
+        })
+        .collect();
+    pool.run_jobs(jobs).into_iter().flatten().collect()
+}
+
+/// Lanes per batch chunk: 8 `f64` slots fill one 64-byte cache line, so a
+/// chunk's gathered voltage slab and its power slab each live on a single
+/// line through the per-step gather → batch-evaluate → scatter loop.
+pub const BATCH_LANES: usize = 8;
+
+/// Expands the grid and runs it through the SoA batch engine — the
+/// grid-level twin of [`run_scenarios_batch`].
+///
+/// # Errors
+///
+/// Propagates grid-expansion failures; individual scenario failures are
+/// embedded in their [`ScenarioResult`].
+pub fn run_batch(grid: &SweepGrid, threads: usize) -> Result<Vec<ScenarioResult>, SimError> {
+    let scenarios = {
+        let _span = hems_obs::span!("sweep.expand_ns");
+        grid.scenarios()?
+    };
+    Ok(run_scenarios_batch(&scenarios, threads))
+}
+
+/// Runs an explicit scenario list through the batch engine: grouped device
+/// tables, [`BATCH_LANES`]-wide lockstep chunks, one batch PV evaluation
+/// per chunk-step (see the module docs for the full contract). Chunks are
+/// dispatched across a [`WorkerPool`] when `threads > 1` survives the
+/// adaptive cutover, inline otherwise; either way the merge scatters
+/// results by list position, so the output is bitwise identical for any
+/// thread count.
+///
+/// Results track [`run_scenarios_serial`] under the LUT-parity contract
+/// (≤ 0.1 % per-step device error) rather than bitwise; groups whose
+/// tables cannot be built (e.g. dark cells) fall back to the exact scalar
+/// path and *are* bitwise identical to serial.
+pub fn run_scenarios_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Group list positions by device compatibility: lanes stepped in
+    // lockstep share one PV table (and its gathered voltage slab) and one
+    // CPU table, which requires identical cell, processor, timestep and
+    // duration. Order within a group follows list order, so chunk
+    // composition is a pure function of the input list.
+    struct Group {
+        rep: usize,
+        positions: Vec<usize>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for (pos, s) in scenarios.iter().enumerate() {
+        let found = groups.iter_mut().find(|g| {
+            scenarios.get(g.rep).is_some_and(|r| {
+                r.config.cell == s.config.cell
+                    && r.config.cpu == s.config.cpu
+                    && r.config.dt == s.config.dt
+                    && r.duration == s.duration
+            })
+        });
+        match found {
+            Some(g) => g.positions.push(pos),
+            None => groups.push(Group {
+                rep: pos,
+                positions: vec![pos],
+            }),
+        }
+    }
+
+    // One table pair per group, built once and shared by every chunk the
+    // group splits into. A cell whose power table cannot be built (a dark
+    // cell has no maximum power point) sends its whole group down the
+    // exact scalar path instead — correctness never depends on the table.
+    type ChunkJob = Box<dyn FnOnce() -> Vec<(usize, ScenarioResult)> + Send>;
+    let mut jobs: Vec<ChunkJob> = Vec::new();
+    for group in groups {
+        let Some(rep) = scenarios.get(group.rep) else {
+            continue;
+        };
+        let tables = PvLut::build_default(rep.config.cell.clone())
+            .ok()
+            .map(|pv| (pv, CpuLut::build_default(rep.config.cpu.clone())));
+        for chunk in group.positions.chunks(BATCH_LANES) {
+            let work: Vec<(usize, Scenario)> = chunk
+                .iter()
+                .filter_map(|&pos| scenarios.get(pos).map(|s| (pos, s.clone())))
+                .collect();
+            match &tables {
+                Some((pv, cpu)) => {
+                    let (pv, cpu) = (pv.clone(), cpu.clone());
+                    jobs.push(Box::new(move || run_lut_chunk(work, pv, cpu)));
+                }
+                None => jobs.push(Box::new(move || {
+                    work.iter()
+                        .map(|(pos, s)| (*pos, run_scenario(s)))
+                        .collect()
+                })),
+            }
+        }
+    }
+
+    let threads = effective_threads(threads, n);
+    let run_span = hems_obs::span!("sweep.run_ns");
+    let pairs: Vec<(usize, ScenarioResult)> = if threads == 1 {
+        jobs.into_iter().flat_map(|job| job()).collect()
+    } else {
+        let pool = WorkerPool::new(threads);
+        pool.run_jobs(jobs).into_iter().flatten().collect()
+    };
+    run_span.finish();
+
+    let _merge_span = hems_obs::span!("sweep.merge_ns");
+    let mut slots: Vec<Option<ScenarioResult>> = vec![None; n];
+    for (position, result) in pairs {
+        if let Some(slot) = slots.get_mut(position) {
+            debug_assert!(slot.is_none(), "scenario {position} ran twice");
+            *slot = Some(result);
+        }
+    }
+    let results: Vec<ScenarioResult> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(
+        results.len(),
+        n,
+        "every scenario position produced a result"
+    );
+    results
+}
+
+/// Steps one lane chunk in lockstep through shared device tables.
+///
+/// Per step: gather every live lane's pre-step node voltage into a
+/// stack-resident slab, evaluate the whole slab through one
+/// [`PvLut::power_at_many`] call, then advance each lane with its slab
+/// value via [`Simulation::step_with_harvest`]. The CPU table is installed
+/// into each lane so `resolve` reads frequency and power from the table's
+/// O(1) uniform-grid kernels instead of re-deriving the closed forms.
+///
+/// Lanes that fail to construct report their error exactly like the
+/// scalar path and drop out of lockstep before it starts. All lanes share
+/// one (duration, dt) pair by group construction, so they retire together.
+fn run_lut_chunk(
+    work: Vec<(usize, Scenario)>,
+    pv: PvLut,
+    cpu: CpuLut,
+) -> Vec<(usize, ScenarioResult)> {
+    let _span = hems_obs::span!("sweep.batch_chunk_ns");
+    struct Lane {
+        pos: usize,
+        index: usize,
+        label: String,
+        irradiance: Irradiance,
+        capacitance: Farads,
+        regulator: RegulatorKind,
+        sim: Simulation,
+        controller: Box<dyn Controller>,
+    }
+    debug_assert!(work.len() <= BATCH_LANES, "chunk wider than its slabs");
+    debug_assert!(
+        work.first().is_none_or(|(_, f)| work
+            .iter()
+            .all(|(_, s)| s.duration == f.duration && s.config.dt == f.config.dt)),
+        "chunk mixes durations or timesteps"
+    );
+    let steps = work
+        .first()
+        .map(|(_, s)| (s.duration.seconds() / s.config.dt.seconds()).round() as u64)
+        .unwrap_or(0);
+    let mut out: Vec<(usize, ScenarioResult)> = Vec::with_capacity(work.len());
+    let mut lanes: Vec<Lane> = Vec::with_capacity(work.len());
+    for (pos, scenario) in work {
+        obs::SCENARIOS.inc();
+        let irradiance = scenario.config.cell.irradiance();
+        let capacitance = scenario.config.capacitor.capacitance();
+        let regulator = scenario.config.regulator.kind();
+        let light = LightProfile::constant(irradiance);
+        let built = Simulation::new(scenario.config.clone(), light, scenario.v_initial).and_then(
+            |mut sim| {
+                sim.install_device_luts(None, Some(cpu.clone()))?;
+                Ok(sim)
+            },
+        );
+        match built {
+            Ok(sim) => lanes.push(Lane {
+                pos,
+                index: scenario.index,
+                label: scenario.label,
+                irradiance,
+                capacitance,
+                regulator,
+                sim,
+                controller: scenario.policy.build(),
+            }),
+            Err(e) => {
+                obs::SCENARIO_ERRORS.inc();
+                out.push((
+                    pos,
+                    ScenarioResult {
+                        index: scenario.index,
+                        label: scenario.label,
+                        irradiance,
+                        capacitance,
+                        regulator,
+                        summary: Err(e.to_string()),
+                    },
+                ));
+            }
+        }
+    }
+    let live = lanes.len();
+    let mut volts = [0.0_f64; BATCH_LANES];
+    let mut watts = [0.0_f64; BATCH_LANES];
+    for _ in 0..steps {
+        for (v, lane) in volts.iter_mut().zip(&lanes) {
+            *v = lane.sim.v_solar().volts();
+        }
+        pv.power_at_many(&volts[..live], &mut watts[..live]);
+        for (lane, &p) in lanes.iter_mut().zip(&watts) {
+            lane.sim
+                .step_with_harvest(lane.controller.as_mut(), Watts::new(p));
+        }
+    }
+    for lane in lanes {
+        out.push((
+            lane.pos,
+            ScenarioResult {
+                index: lane.index,
+                label: lane.label,
+                irradiance: lane.irradiance,
+                capacitance: lane.capacitance,
+                regulator: lane.regulator,
+                summary: Ok(lane.sim.summary()),
+            },
+        ));
+    }
+    out
 }
 
 /// Environment variable overriding the worker-thread count used when no
@@ -565,6 +904,144 @@ mod tests {
         for threads in [scenarios.len() + 1, 4 * scenarios.len(), 64] {
             assert_eq!(serial, run_scenarios_parallel(&scenarios, threads));
         }
+    }
+
+    #[test]
+    fn expanded_grid_matches_per_call_expansion() {
+        let grid = small_grid();
+        let once = grid.expanded().unwrap();
+        let per_call = grid.scenarios().unwrap();
+        assert_eq!(once.len(), per_call.len());
+        assert!(!once.is_empty());
+        for (a, b) in once.scenarios().iter().zip(&per_call) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.config, b.config);
+        }
+        assert_eq!(once.into_scenarios().len(), per_call.len());
+    }
+
+    #[test]
+    fn serial_cutover_engages_below_the_amortization_floor() {
+        assert_eq!(effective_threads(8, 0), 1);
+        assert_eq!(effective_threads(8, 1), 1);
+        assert_eq!(
+            effective_threads(8, 3),
+            1,
+            "3 scenarios cannot amortize a spawn"
+        );
+        assert_eq!(
+            effective_threads(8, 8),
+            4,
+            "clamped to n / MIN_SCENARIOS_PER_WORKER"
+        );
+        assert_eq!(
+            effective_threads(2, 100),
+            2,
+            "ample work leaves the request alone"
+        );
+        assert_eq!(effective_threads(0, 100), 1, "zero is clamped up");
+    }
+
+    #[test]
+    fn chunked_is_bit_identical_to_serial_for_any_lane_width() {
+        let scenarios = small_grid().scenarios().unwrap();
+        let serial = run_scenarios_serial(&scenarios);
+        let pool = WorkerPool::new(2);
+        for lanes in [0, 1, 3, 8, 64] {
+            assert_eq!(
+                serial,
+                run_scenarios_chunked(&scenarios, &pool, lanes),
+                "lanes {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_bitwise_deterministic_across_thread_counts() {
+        let grid = small_grid();
+        let one = run_batch(&grid, 1).unwrap();
+        assert_eq!(one.len(), grid.len());
+        for threads in [2, 3, 8] {
+            assert_eq!(one, run_batch(&grid, threads).unwrap(), "threads {threads}");
+        }
+        assert!(run_scenarios_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn batch_tracks_the_exact_sweep_within_transient_tolerance() {
+        let grid = small_grid();
+        let exact = run_serial(&grid).unwrap();
+        let batch = run_batch(&grid, 1).unwrap();
+        assert_eq!(exact.len(), batch.len());
+        for (e, b) in exact.iter().zip(&batch) {
+            assert_eq!(e.index, b.index);
+            assert_eq!(e.label, b.label);
+            let es = e.summary.as_ref().unwrap();
+            let bs = b.summary.as_ref().unwrap();
+            // Per-step LUT error (≤ 0.1 %) integrates but must not change
+            // the transient's shape: continuous ledger quantities stay
+            // within a couple percent and discrete events within one.
+            let rel = |a: f64, r: f64| (a - r).abs() / r.abs().max(1e-15);
+            assert!(
+                rel(bs.ledger.harvested.joules(), es.ledger.harvested.joules()) < 2e-2,
+                "{}: harvested {} vs {}",
+                e.label,
+                bs.ledger.harvested,
+                es.ledger.harvested
+            );
+            assert!(
+                rel(
+                    bs.ledger.delivered_to_cpu.joules(),
+                    es.ledger.delivered_to_cpu.joules()
+                ) < 2e-2,
+                "{}: delivered {} vs {}",
+                e.label,
+                bs.ledger.delivered_to_cpu,
+                es.ledger.delivered_to_cpu
+            );
+            assert!(
+                (bs.final_v_solar - es.final_v_solar).abs() < Volts::from_milli(10.0),
+                "{}: final {} vs {}",
+                e.label,
+                bs.final_v_solar,
+                es.final_v_solar
+            );
+            assert!(
+                (bs.brownouts as i64 - es.brownouts as i64).abs() <= 1,
+                "{}: brownouts {} vs {}",
+                e.label,
+                bs.brownouts,
+                es.brownouts
+            );
+        }
+    }
+
+    #[test]
+    fn batch_dark_groups_fall_back_to_the_exact_path() {
+        let mut grid = small_grid();
+        grid.irradiances = vec![Irradiance::DARK];
+        let serial = run_serial(&grid).unwrap();
+        assert!(!serial.is_empty());
+        for threads in [1, 4] {
+            assert_eq!(
+                serial,
+                run_batch(&grid, threads).unwrap(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_infeasible_scenarios_carry_errors_not_aborts() {
+        let mut grid = small_grid();
+        // Initial voltage above the capacitor rating: Simulation::new fails
+        // inside the lane-construction loop, and the lane's error result is
+        // byte-for-byte the scalar path's.
+        grid.v_initial = Volts::new(5.0);
+        let results = run_batch(&grid, 2).unwrap();
+        assert!(results.iter().all(|r| r.summary.is_err()));
+        assert_eq!(results, run_serial(&grid).unwrap());
     }
 
     #[test]

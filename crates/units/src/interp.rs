@@ -303,6 +303,16 @@ impl MonotoneTable {
             }
             None => self.xs.partition_point(|&k| k <= x) - 1,
         };
+        self.hermite(lo, x)
+    }
+
+    /// Cubic Hermite evaluation on the interval `[xs[lo], xs[lo+1]]`.
+    ///
+    /// Both the scalar and the batch entry points funnel through this one
+    /// body, so an interior point evaluates to the bit-identical result no
+    /// matter how its interval was located.
+    #[inline]
+    fn hermite(&self, lo: usize, x: f64) -> f64 {
         let hi = lo + 1;
         let h = self.xs[hi] - self.xs[lo];
         let t = (x - self.xs[lo]) / h;
@@ -317,6 +327,54 @@ impl MonotoneTable {
             + h10 * h * self.slopes[lo]
             + h01 * self.ys[hi]
             + h11 * h * self.slopes[hi]
+    }
+
+    /// Evaluates the spline over a whole slab of query points, writing one
+    /// output per input.
+    ///
+    /// When the queries are ascending (the solver grids and SoA sweep slabs
+    /// all are), interval location degenerates to a monotone forward cursor:
+    /// the batch walks the knot array once instead of doing a per-point
+    /// search, so the whole slab is gather-free. Unsorted queries fall back
+    /// to the scalar locate per point. Either way every output is
+    /// bit-identical to `eval` on the same input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != out.len()`.
+    pub fn eval_many(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "eval_many requires equally sized input and output slabs"
+        );
+        let n = self.xs.len();
+        // NaN compares false, sending any NaN-bearing slab down the scalar
+        // path where `eval`'s clamp logic handles it point by point.
+        let ascending = xs.windows(2).all(|w| w[0] <= w[1]);
+        if !ascending {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.eval(x);
+            }
+            return;
+        }
+        let mut lo = 0usize;
+        for (o, &x) in out.iter_mut().zip(xs) {
+            if x <= self.xs[0] {
+                *o = self.ys[0];
+                continue;
+            }
+            if x >= self.xs[n - 1] {
+                *o = self.ys[n - 1];
+                continue;
+            }
+            // Advance to the canonical interval: the last knot <= x. The
+            // cursor never rewinds because the queries are ascending.
+            while lo + 2 < n && x >= self.xs[lo + 1] {
+                lo += 1;
+            }
+            *o = self.hermite(lo, x);
+        }
     }
 
     /// The inclusive domain covered by the knots.
@@ -469,6 +527,77 @@ mod monotone_tests {
         assert!(MonotoneTable::new(vec![0.0], vec![1.0]).is_err());
         assert!(MonotoneTable::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
         assert!(MonotoneTable::from_fn(0.0, 0.0, 5, |x| x).is_err());
+    }
+
+    /// Deterministic xorshift64* stream for seeded differential tests.
+    fn seeded_queries(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let u =
+                    (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+                lo + u * (hi - lo)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eval_many_is_bit_identical_to_eval_on_sorted_queries() {
+        // Uniform knots: the scalar path uses the O(1) locate, the batch
+        // path uses the cursor. They must still agree to the bit.
+        let t = MonotoneTable::from_fn(0.0, 1.5, 64, |x| x.sin() + 2.0).unwrap();
+        let mut xs = seeded_queries(0xDEAD_BEEF, 513, -0.2, 1.7);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut out = vec![0.0; xs.len()];
+        t.eval_many(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y.to_bits(), t.eval(x).to_bits(), "mismatch at x={x}");
+        }
+    }
+
+    #[test]
+    fn eval_many_is_bit_identical_on_unsorted_and_nonuniform_queries() {
+        // Non-uniform knots force the partition_point scalar locate; the
+        // unsorted batch falls back to exactly that path.
+        let xs_knots = vec![0.0, 0.3, 1.0, 2.2, 5.0];
+        let ys_knots = vec![0.0, 0.5, 0.9, 2.0, 2.1];
+        let t = MonotoneTable::new(xs_knots, ys_knots).unwrap();
+        let xs = seeded_queries(42, 257, -1.0, 6.0);
+        let mut out = vec![0.0; xs.len()];
+        t.eval_many(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y.to_bits(), t.eval(x).to_bits(), "mismatch at x={x}");
+        }
+    }
+
+    #[test]
+    fn eval_many_handles_edge_batches() {
+        let t = MonotoneTable::from_fn(0.0, 1.0, 8, |x| x * x).unwrap();
+        // Empty slab is a no-op.
+        t.eval_many(&[], &mut []);
+        // All-clamped slab (everything outside the domain).
+        let xs = [-2.0, -1.0, 1.5, 9.0];
+        let mut out = [f64::NAN; 4];
+        t.eval_many(&xs, &mut out);
+        assert_eq!(out, [0.0, 0.0, 1.0, 1.0]);
+        // Exact knot hits reproduce knot values.
+        let knots = [0.0, 0.5, 1.0];
+        let mut out = [f64::NAN; 3];
+        t.eval_many(&knots, &mut out);
+        for (&x, &y) in knots.iter().zip(&out) {
+            assert_eq!(y.to_bits(), t.eval(x).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn eval_many_rejects_mismatched_slabs() {
+        let t = MonotoneTable::from_fn(0.0, 1.0, 8, |x| x).unwrap();
+        let mut out = [0.0; 2];
+        t.eval_many(&[0.1, 0.2, 0.3], &mut out);
     }
 }
 

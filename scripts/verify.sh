@@ -42,6 +42,22 @@ cargo run --release -q -p hems-chaos -- --seed 7 --smoke --out BENCH_chaos.json 
 
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
+# The adaptive serial cutover guarantees the parallel engine entry never
+# loses to serial — at any scenario count, on any host. The bench records
+# the speedup per scaling point; a value below 1.0 means the cutover
+# regressed (the pre-cutover harness measured 0.90x on single-core CI).
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_sweep.json"))
+points = report["scaling"]
+assert points, "BENCH_sweep.json has no scaling points"
+for point in points:
+    n, speedup = point["scenarios"], point["parallel_speedup"]
+    assert speedup >= 1.0, \
+        f"parallel engine speedup {speedup} < 1.0 at {n} scenarios"
+assert report["engine"]["speedup"] >= 1.0, "headline engine speedup < 1.0"
+print(f"verify: engine speedup >= 1.0 at all {len(points)} scaling points")
+EOF
 
 echo "== smoke bench: serve (writes BENCH_serve.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-serve --bench serve
