@@ -565,6 +565,13 @@ fn main() {
             ]),
         ),
         (
+            "peak_rss_bytes".into(),
+            match hems_bench::harness::peak_rss_bytes() {
+                Some(rss) => Json::Int(rss as i64),
+                None => Json::Num(f64::NAN),
+            },
+        ),
+        (
             "all_measurements".into(),
             Json::Arr(
                 scaling

@@ -282,6 +282,22 @@ impl Json {
     }
 }
 
+/// Peak resident set size of this process in bytes, read from the
+/// kernel's `VmHWM` high-water mark in `/proc/self/status` — `std`-only,
+/// no syscall bindings. Returns `None` off Linux or if the field is
+/// missing, so callers degrade to omitting the figure rather than
+/// failing the bench.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
 /// A [`Measurement`] as a JSON object.
 pub fn measurement_json(m: &Measurement) -> Json {
     Json::Obj(vec![
@@ -345,6 +361,17 @@ mod tests {
         assert!(s.contains("\\\"y\\n"));
         assert!(s.contains("\"d\": null"));
         assert!(s.contains("[\n"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // The kernel reports KiB; anything under a page or over a
+        // terabyte would mean the parse walked off the field.
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss >= 4096, "rss = {rss}");
+            assert!(rss < 1 << 40, "rss = {rss}");
+            assert_eq!(rss % 1024, 0, "VmHWM is KiB-granular");
+        }
     }
 
     #[test]

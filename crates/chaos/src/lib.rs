@@ -2,7 +2,7 @@
 //!
 //! The paper's premise is surviving hostile conditions: a battery-less
 //! node browns out mid-computation and must resume correctly. This crate
-//! *proves* the repo does, by injecting faults into its three planes and
+//! *proves* the repo does, by injecting faults into its four planes and
 //! asserting recovery:
 //!
 //! * **power** ([`power`]) — scheduled irradiance collapses drive the sim
@@ -18,7 +18,12 @@
 //!   mid-response, and runs slow-loris clients, while the retrying
 //!   [`hems_serve::Client`] must still get every healthy request
 //!   answered and the server must finish with zero panics on its own
-//!   threads.
+//!   threads;
+//! * **fleet** ([`fleet`]) — regional brownout storms swept across an
+//!   [`hems_fleet::Fleet`] digital twin: correlated harvest collapses
+//!   kill whole neighbourhoods of nodes at once, and every storm must
+//!   end with demonstrable sampled progress and zero commit-stream
+//!   prefix-digest violations fleet-wide.
 //!
 //! Everything is driven by a [`FaultPlan`] seeded through the vendored
 //! xorshift RNG ([`hems_units::XorShiftRng`]): the same seed yields the
@@ -35,6 +40,7 @@
 
 pub mod compute;
 mod error;
+pub mod fleet;
 pub mod net;
 pub mod plan;
 pub mod power;

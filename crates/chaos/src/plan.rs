@@ -54,6 +54,13 @@ pub struct CampaignConfig {
     /// Server read deadline in milliseconds (kept short so the slow-loris
     /// attacker is reaped quickly).
     pub net_read_timeout_ms: u64,
+    /// Fleet-twin nodes to co-simulate under regional brownout storms
+    /// (fleet surface).
+    pub fleet_nodes: u32,
+    /// Square weather-grid side for the fleet surface.
+    pub fleet_grid: u32,
+    /// Seeded regional brownout storms injected into the fleet's day.
+    pub fleet_storms: u32,
 }
 
 impl CampaignConfig {
@@ -67,6 +74,9 @@ impl CampaignConfig {
             net_requests: 18,
             net_requests_after: 8,
             net_read_timeout_ms: 250,
+            fleet_nodes: 1024,
+            fleet_grid: 32,
+            fleet_storms: 2,
         }
     }
 
@@ -80,6 +90,9 @@ impl CampaignConfig {
             net_requests: 8,
             net_requests_after: 4,
             net_read_timeout_ms: 200,
+            fleet_nodes: 48,
+            fleet_grid: 8,
+            fleet_storms: 1,
         }
     }
 

@@ -1,6 +1,6 @@
 //! Campaign orchestration and reporting.
 //!
-//! A campaign runs all three surfaces, collects one JSON line per
+//! A campaign runs all four surfaces, collects one JSON line per
 //! injected fault, and validates every line through the serve crate's own
 //! parser before it is emitted — the report exercises the same wire
 //! machinery the chaos proxy attacks. The summary becomes
@@ -9,7 +9,7 @@
 
 use crate::error::ChaosError;
 use crate::plan::CampaignConfig;
-use crate::{compute, net, power};
+use crate::{compute, fleet, net, power};
 use hems_obs::{ManualClock, Registry};
 use hems_serve::json::{parse, Value};
 use std::sync::Arc;
@@ -78,7 +78,7 @@ fn surface_summary(name: &str, injected: u64, recovered: u64) -> Value {
     ])
 }
 
-/// Runs the full seeded campaign: power, then compute, then I/O.
+/// Runs the full seeded campaign: power, compute, I/O, then fleet.
 ///
 /// # Errors
 ///
@@ -97,12 +97,13 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     let power = power::run(config, &registry)?;
     let compute = compute::run(config, &registry)?;
     let net = net::run(config, &registry)?;
+    let fleet = fleet::run(config, &registry)?;
 
     // The summary's fault counts come from the shared registry, not the
     // per-surface structs — the snapshot below *is* the ledger.
     let obs = registry.snapshot();
     let count = |name: &str| obs.counter(name).unwrap_or(0);
-    let surfaces: Vec<Value> = ["power", "compute", "net"]
+    let surfaces: Vec<Value> = ["power", "compute", "net", "fleet"]
         .iter()
         .map(|surface| {
             surface_summary(
@@ -112,11 +113,11 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
             )
         })
         .collect();
-    let injected: u64 = ["power", "compute", "net"]
+    let injected: u64 = ["power", "compute", "net", "fleet"]
         .iter()
         .map(|s| count(&format!("chaos.{s}.injected")))
         .sum();
-    let recovered: u64 = ["power", "compute", "net"]
+    let recovered: u64 = ["power", "compute", "net", "fleet"]
         .iter()
         .map(|s| count(&format!("chaos.{s}.recovered")))
         .sum();
@@ -126,6 +127,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     lines.extend(power.lines);
     lines.extend(compute.lines);
     lines.extend(net.lines);
+    lines.extend(fleet.lines);
 
     let summary = Value::obj(vec![
         ("bench", Value::str("chaos")),
@@ -169,7 +171,7 @@ mod tests {
         // agree with the headline numbers (they are the same ledger).
         let obs = first.summary.get("obs").expect("obs snapshot in summary");
         let series = obs.get("series").expect("series object");
-        let injected_sum: f64 = ["power", "compute", "net"]
+        let injected_sum: f64 = ["power", "compute", "net", "fleet"]
             .iter()
             .map(|s| {
                 series

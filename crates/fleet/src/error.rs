@@ -1,0 +1,45 @@
+//! The crate's error type.
+
+/// Why a fleet campaign could not run (distinct from faults the campaign
+/// *simulates* — brownouts, storms, and rollbacks are results, not
+/// errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError {
+    context: String,
+    message: String,
+}
+
+impl FleetError {
+    /// An error tagged with the campaign stage it happened in.
+    pub fn new(context: &str, message: impl Into<String>) -> FleetError {
+        FleetError {
+            context: context.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The stage that failed.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context_and_message() {
+        let e = FleetError::new("wheel", "tick in the past");
+        assert_eq!(e.context(), "wheel");
+        assert_eq!(e.to_string(), "wheel: tick in the past");
+    }
+}

@@ -1,0 +1,338 @@
+//! A hierarchical time wheel: the fleet's event scheduler.
+//!
+//! Eight levels of 256 slots cover the full `u64` tick range (one tick =
+//! one simulated second). Level 0 resolves individual ticks inside the
+//! current 256-tick window; level `l` buckets events `256^l` ticks per
+//! slot. An event scheduled `d` ticks ahead lands at the lowest level
+//! whose window contains both `now` and the target tick; when the clock
+//! advances into a higher-level slot, its events *cascade* down and
+//! re-sort themselves into finer slots — classic hashed-and-hierarchical
+//! timing wheels (Varghese & Lauck), O(1) amortized per event.
+//!
+//! Determinism is part of the contract: every push is stamped with a
+//! monotone sequence number, and events that share a tick pop in push
+//! order (FIFO), independent of how many cascades moved them around.
+//! Occupancy bitmaps (four `u64` words per level) make "find the next
+//! non-empty slot" a handful of `trailing_zeros` calls, so empty regions
+//! of simulated time cost nearly nothing to skip.
+
+/// Slots per level (and the radix of the hierarchy).
+const SLOTS: usize = 256;
+/// Bits of tick resolved per level.
+const SLOT_BITS: u32 = 8;
+/// Levels: 8 × 8 bits = the whole `u64` tick space.
+const LEVELS: usize = 8;
+
+/// One scheduled event: an opaque `u64` payload due at `tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Absolute due tick (seconds in the fleet's use).
+    pub tick: u64,
+    /// Push-order stamp; ties on `tick` pop in `seq` order.
+    pub seq: u64,
+    /// Caller-defined payload (the fleet packs an event kind + id).
+    pub payload: u64,
+}
+
+/// One level of the wheel: 256 slots plus an occupancy bitmap.
+#[derive(Debug)]
+struct Level {
+    slots: Vec<Vec<Event>>,
+    occupied: [u64; SLOTS / 64],
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; SLOTS / 64],
+        }
+    }
+
+    fn mark(&mut self, slot: usize) {
+        if let Some(word) = self.occupied.get_mut(slot / 64) {
+            *word |= 1u64 << (slot % 64);
+        }
+    }
+
+    fn clear(&mut self, slot: usize) {
+        if let Some(word) = self.occupied.get_mut(slot / 64) {
+            *word &= !(1u64 << (slot % 64));
+        }
+    }
+
+    /// The first occupied slot index `>= from`, if any.
+    fn first_occupied(&self, from: usize) -> Option<usize> {
+        let mut word_idx = from / 64;
+        let mut mask = u64::MAX << (from % 64);
+        while let Some(word) = self.occupied.get(word_idx) {
+            let bits = word & mask;
+            if bits != 0 {
+                return Some(word_idx * 64 + bits.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            mask = u64::MAX;
+        }
+        None
+    }
+}
+
+/// The hierarchical time wheel. See the module docs.
+#[derive(Debug)]
+pub struct TimeWheel {
+    levels: Vec<Level>,
+    now: u64,
+    seq: u64,
+    len: usize,
+    /// Events of the tick currently being served, in FIFO order.
+    due: Vec<Event>,
+    due_next: usize,
+}
+
+impl Default for TimeWheel {
+    fn default() -> Self {
+        TimeWheel::new()
+    }
+}
+
+impl TimeWheel {
+    /// An empty wheel at tick 0.
+    pub fn new() -> TimeWheel {
+        TimeWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            now: 0,
+            seq: 0,
+            len: 0,
+            due: Vec::new(),
+            due_next: 0,
+        }
+    }
+
+    /// The current tick (the due tick of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Events still scheduled (including not-yet-served due events).
+    pub fn len(&self) -> usize {
+        self.len + (self.due.len() - self.due_next)
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` at `tick`. Ticks in the past are clamped to
+    /// `now` (they pop next, after anything already due this tick).
+    pub fn push(&mut self, tick: u64, payload: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        let event = Event {
+            tick: tick.max(self.now),
+            seq,
+            payload,
+        };
+        self.insert(event);
+    }
+
+    fn insert(&mut self, event: Event) {
+        let (level, slot) = self.place(event.tick);
+        if let Some(l) = self.levels.get_mut(level) {
+            if let Some(bucket) = l.slots.get_mut(slot) {
+                bucket.push(event);
+                l.mark(slot);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// The (level, slot) an event due at `tick` belongs to, given `now`.
+    fn place(&self, tick: u64) -> (usize, usize) {
+        let diff = tick ^ self.now;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Pops the earliest event; ties on tick pop in push order. Advances
+    /// `now` to the popped event's tick. `None` when the wheel is empty.
+    pub fn pop_next(&mut self) -> Option<Event> {
+        // Serve the tick already drained into the due buffer first.
+        if let Some(event) = self.due.get(self.due_next).copied() {
+            self.due_next += 1;
+            return Some(event);
+        }
+        self.due.clear();
+        self.due_next = 0;
+        loop {
+            if self.len == 0 {
+                return None;
+            }
+            // Within the current level-0 window: the next occupied slot at
+            // or after the cursor holds exactly one tick's events.
+            let cursor = (self.now & (SLOTS as u64 - 1)) as usize;
+            let found = self
+                .levels
+                .first()
+                .and_then(|level| level.first_occupied(cursor));
+            if let Some(slot) = found {
+                let window_base = self.now & !(SLOTS as u64 - 1);
+                self.now = window_base | slot as u64;
+                if let Some(level) = self.levels.get_mut(0) {
+                    if let Some(bucket) = level.slots.get_mut(slot) {
+                        self.len -= bucket.len();
+                        self.due.append(bucket);
+                    }
+                    level.clear(slot);
+                }
+                // Defensive, deterministic: FIFO by (tick, seq). Buckets
+                // are appended in seq order, so this is usually a no-op.
+                self.due.sort_by_key(|e| (e.tick, e.seq));
+                if let Some(event) = self.due.first().copied() {
+                    self.due_next = 1;
+                    return Some(event);
+                }
+                continue;
+            }
+            // The window is exhausted: cascade the next occupied slot of
+            // the lowest non-empty higher level down into finer slots.
+            if !self.cascade() {
+                return None;
+            }
+        }
+    }
+
+    /// Finds the lowest level `>= 1` with an occupied slot strictly after
+    /// its cursor, advances `now` to that slot's window base, and
+    /// re-inserts its events at finer levels. Returns `false` if no such
+    /// slot exists (the wheel should then be empty).
+    fn cascade(&mut self) -> bool {
+        for level_idx in 1..LEVELS {
+            let cursor =
+                ((self.now >> (SLOT_BITS * level_idx as u32)) & (SLOTS as u64 - 1)) as usize;
+            let found = self
+                .levels
+                .get(level_idx)
+                .and_then(|level| level.first_occupied(cursor + 1));
+            let Some(slot) = found else { continue };
+            let shift = SLOT_BITS * level_idx as u32;
+            // Zero every digit below this level, set this level's digit.
+            let high_mask = if shift + SLOT_BITS >= 64 {
+                0
+            } else {
+                u64::MAX << (shift + SLOT_BITS)
+            };
+            self.now = (self.now & high_mask) | ((slot as u64) << shift);
+            let mut moved = Vec::new();
+            if let Some(level) = self.levels.get_mut(level_idx) {
+                if let Some(bucket) = level.slots.get_mut(slot) {
+                    std::mem::swap(&mut moved, bucket);
+                }
+                level.clear(slot);
+            }
+            self.len -= moved.len();
+            for event in moved {
+                self.insert(event);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order_with_fifo_ties() {
+        let mut wheel = TimeWheel::new();
+        wheel.push(10, 1);
+        wheel.push(5, 2);
+        wheel.push(10, 3);
+        wheel.push(5, 4);
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| wheel.pop_next())
+            .map(|e| (e.tick, e.payload))
+            .collect();
+        assert_eq!(order, vec![(5, 2), (5, 4), (10, 1), (10, 3)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn long_range_events_cascade_correctly() {
+        let mut wheel = TimeWheel::new();
+        // Spread events across several wheel levels.
+        let ticks = [3u64, 255, 256, 257, 65_535, 65_536, 1 << 20, (1 << 30) + 7];
+        for (i, t) in ticks.iter().enumerate() {
+            wheel.push(*t, i as u64);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = wheel.pop_next() {
+            popped.push(e.tick);
+            assert_eq!(wheel.now(), e.tick);
+        }
+        let mut expect = ticks.to_vec();
+        expect.sort_unstable();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn interleaved_push_and_pop_keeps_order() {
+        let mut wheel = TimeWheel::new();
+        wheel.push(100, 0);
+        assert_eq!(wheel.pop_next().map(|e| e.tick), Some(100));
+        // Push relative to the new now, including a same-tick event.
+        wheel.push(100, 1);
+        wheel.push(600, 2);
+        wheel.push(101, 3);
+        assert_eq!(wheel.pop_next().map(|e| e.payload), Some(1));
+        assert_eq!(wheel.pop_next().map(|e| e.payload), Some(3));
+        assert_eq!(wheel.pop_next().map(|e| e.payload), Some(2));
+        assert_eq!(wheel.pop_next(), None);
+    }
+
+    #[test]
+    fn past_ticks_clamp_to_now() {
+        let mut wheel = TimeWheel::new();
+        wheel.push(50, 0);
+        let _ = wheel.pop_next();
+        wheel.push(10, 1); // in the past: clamped to now = 50
+        assert_eq!(wheel.pop_next().map(|e| (e.tick, e.payload)), Some((50, 1)));
+    }
+
+    #[test]
+    fn seeded_shuffle_pops_sorted_like_a_priority_queue() {
+        use hems_units::XorShiftRng;
+        let mut rng = XorShiftRng::seed_from_u64(99);
+        let mut wheel = TimeWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for seq in 0..5_000u64 {
+            let tick = rng.next_u64() % 3_000_000;
+            wheel.push(tick, seq);
+            reference.push((tick, seq));
+        }
+        reference.sort_unstable();
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| wheel.pop_next())
+            .map(|e| (e.tick, e.seq))
+            .collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn len_tracks_due_buffer_and_levels() {
+        let mut wheel = TimeWheel::new();
+        assert!(wheel.is_empty());
+        wheel.push(7, 0);
+        wheel.push(7, 1);
+        assert_eq!(wheel.len(), 2);
+        let _ = wheel.pop_next();
+        assert_eq!(wheel.len(), 1);
+        let _ = wheel.pop_next();
+        assert!(wheel.is_empty());
+    }
+}

@@ -52,14 +52,16 @@ impl RuleConfig {
 
 /// Service-plane paths held to panic-freedom: the serve crate, the sim
 /// crate's pool/sweep/engine, the core solvers, the chaos harness (a
-/// fault injector that panics is indistinguishable from a fault) — and
-/// this lint crate, which checks itself.
+/// fault injector that panics is indistinguishable from a fault), the
+/// fleet twin (one panicking node state machine kills a 100k-node
+/// campaign) — and this lint crate, which checks itself.
 pub fn panic_rule_applies(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/lint/src/")
         || rel.starts_with("crates/chaos/src/")
         || rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/fleet/src/")
         || matches!(
             rel,
             "crates/sim/src/pool.rs" | "crates/sim/src/sweep.rs" | "crates/sim/src/engine.rs"
@@ -73,11 +75,16 @@ pub fn units_rule_applies(rel: &str) -> bool {
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
 }
 
-/// Deterministic solver/sim paths held to the timing rule. The serve
-/// crate is exempt by design: its stats/latency layer measures wall
-/// time on purpose.
+/// Deterministic solver/sim paths held to the timing rule, plus the
+/// fleet library (its byte-identical-report contract forbids any wall
+/// clock or environment influence). The serve crate is exempt by
+/// design: its stats/latency layer measures wall time on purpose. So is
+/// the fleet *bin*, which times campaigns for `BENCH_fleet.json` —
+/// wall-clock figures live there and never in the report lines.
 pub fn timing_rule_applies(rel: &str) -> bool {
-    rel.starts_with("crates/core/src/") || rel.starts_with("crates/sim/src/")
+    rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/sim/src/")
+        || (rel.starts_with("crates/fleet/src/") && rel != "crates/fleet/src/main.rs")
 }
 
 /// Every scanned path except the one module allowed to read the wall
@@ -205,7 +212,11 @@ fn scan_panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>) {
             (TokenKind::Ident, name @ ("unwrap" | "expect")) => {
                 let after_dot = prev_significant(tokens, i)
                     .is_some_and(|(_, p)| p.kind == TokenKind::Punct && p.text == ".");
-                if after_dot {
+                // Only a *call* panics: `self.expect` may be a field
+                // named `expect`, so require the opening parenthesis.
+                let called = next_significant(tokens, i + 1)
+                    .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == "(");
+                if after_dot && called {
                     push_unless_allowed(
                         file,
                         findings,

@@ -176,6 +176,9 @@ pub struct Simulation {
     total_cycles: Cycles,
     pv_lut: Option<PvLut>,
     cpu_lut: Option<CpuLut>,
+    /// Scan cursor for `LightProfile::at_with_cursor` — time moves
+    /// forward one `dt` per step, so outage-window lookup stays O(1).
+    light_cursor: usize,
 }
 
 impl Simulation {
@@ -221,6 +224,7 @@ impl Simulation {
             total_cycles: Cycles::ZERO,
             pv_lut: None,
             cpu_lut: None,
+            light_cursor: 0,
         })
     }
 
@@ -378,7 +382,8 @@ impl Simulation {
 
     fn step_inner(&mut self, controller: &mut dyn Controller, supplied_harvest: Option<Watts>) {
         let dt = self.config.dt;
-        self.cell.set_irradiance(self.light.at(self.now));
+        self.cell
+            .set_irradiance(self.light.at_with_cursor(self.now, &mut self.light_cursor));
         let v_solar = self.capacitor.voltage();
 
         let decision = {

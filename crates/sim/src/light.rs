@@ -140,8 +140,10 @@ impl LightProfile {
 
     /// Overlays scheduled blackout windows on `base`: inside any
     /// `[start, end)` window the light is [`Irradiance::DARK`], outside it
-    /// the base profile applies unchanged. Windows are sorted by start;
-    /// overlapping windows are allowed (their union goes dark).
+    /// the base profile applies unchanged. Overlapping or touching windows
+    /// are allowed — they are merged, so the stored set is a sorted,
+    /// disjoint union (which is what makes the cursor evaluation of
+    /// [`at_with_cursor`](LightProfile::at_with_cursor) O(1) amortized).
     ///
     /// # Panics
     ///
@@ -152,9 +154,18 @@ impl LightProfile {
             assert!(*start >= Seconds::ZERO, "outage window starts before t=0");
         }
         windows.sort_by(|a, b| a.0.value().total_cmp(&b.0.value()));
+        let mut merged: Vec<(Seconds, Seconds)> = Vec::with_capacity(windows.len());
+        for (start, end) in windows {
+            match merged.last_mut() {
+                Some((_, last_end)) if start <= *last_end => {
+                    *last_end = (*last_end).max(end);
+                }
+                _ => merged.push((start, end)),
+            }
+        }
         LightProfile::Outages {
             base: Box::new(base),
-            windows,
+            windows: merged,
         }
     }
 
@@ -208,6 +219,44 @@ impl LightProfile {
                     base.at(t)
                 }
             }
+        }
+    }
+
+    /// [`at`](LightProfile::at), but with a caller-held scan cursor so a
+    /// simulation stepping monotonically through an [`Outages`]
+    /// (LightProfile::Outages) profile pays O(1) amortized per evaluation
+    /// instead of scanning every window each step. The cursor skips
+    /// windows whose end has passed; a backward time jump rewinds it, so
+    /// the result equals `at(t)` for *any* call sequence. Non-outage
+    /// profiles ignore the cursor and delegate to `at`.
+    pub fn at_with_cursor(&self, t: Seconds, cursor: &mut usize) -> Irradiance {
+        let LightProfile::Outages { base, windows } = self else {
+            return self.at(t);
+        };
+        let t = t.max(Seconds::ZERO);
+        *cursor = (*cursor).min(windows.len());
+        // Windows are a sorted disjoint union (see `with_outages`), so
+        // their ends are strictly increasing: once `t` is at or past a
+        // window's end it is past every earlier window too — and if `t`
+        // fell back *before* the previous window's end, earlier windows
+        // may cover it again, so rewind.
+        if *cursor > 0 {
+            if let Some((_, prev_end)) = windows.get(*cursor - 1) {
+                if t < *prev_end {
+                    *cursor = 0;
+                }
+            }
+        }
+        while let Some((_, end)) = windows.get(*cursor) {
+            if t >= *end {
+                *cursor += 1;
+            } else {
+                break;
+            }
+        }
+        match windows.get(*cursor) {
+            Some((start, _)) if t >= *start => Irradiance::DARK,
+            _ => base.at(t),
         }
     }
 }
@@ -337,6 +386,66 @@ mod tests {
         assert_eq!(faulted.at(Seconds::new(0.8)), base.at(Seconds::new(0.8)));
         // Inside it the light is dark no matter what the base says.
         assert_eq!(faulted.at(Seconds::new(0.45)), Irradiance::DARK);
+    }
+
+    #[test]
+    fn overlapping_windows_merge_into_a_disjoint_union() {
+        let p = LightProfile::with_outages(
+            LightProfile::constant(Irradiance::FULL_SUN),
+            vec![
+                (Seconds::new(5.0), Seconds::new(9.0)),
+                (Seconds::new(1.0), Seconds::new(3.0)),
+                (Seconds::new(2.0), Seconds::new(6.0)),
+                (Seconds::new(9.0), Seconds::new(10.0)), // touching: merges
+            ],
+        );
+        let LightProfile::Outages { windows, .. } = &p else {
+            panic!("with_outages must build Outages");
+        };
+        assert_eq!(
+            windows.as_slice(),
+            &[(Seconds::new(1.0), Seconds::new(10.0))]
+        );
+        assert_eq!(p.at(Seconds::new(4.0)), Irradiance::DARK);
+        assert_eq!(p.at(Seconds::new(10.0)), Irradiance::FULL_SUN);
+    }
+
+    #[test]
+    fn cursor_evaluation_matches_at_for_any_call_sequence() {
+        let base = LightProfile::diurnal(Irradiance::FULL_SUN, Seconds::new(100.0));
+        let p = LightProfile::with_outages(
+            base,
+            vec![
+                (Seconds::new(10.0), Seconds::new(12.0)),
+                (Seconds::new(30.0), Seconds::new(35.0)),
+                (Seconds::new(60.0), Seconds::new(61.0)),
+            ],
+        );
+        // Monotone sweep.
+        let mut cursor = 0usize;
+        for i in 0..2000 {
+            let t = Seconds::new(i as f64 * 0.05);
+            assert_eq!(p.at_with_cursor(t, &mut cursor), p.at(t), "t = {t:?}");
+        }
+        // Backward jumps rewind the cursor instead of lying.
+        for &s in &[70.0, 11.0, 34.0, 5.0, 60.5, 0.0, 99.0] {
+            let t = Seconds::new(s);
+            assert_eq!(p.at_with_cursor(t, &mut cursor), p.at(t), "t = {t:?}");
+        }
+        // A stale out-of-range cursor clamps safely.
+        let mut wild = 999usize;
+        assert_eq!(
+            p.at_with_cursor(Seconds::new(31.0), &mut wild),
+            Irradiance::DARK
+        );
+        // Non-outage profiles leave the cursor alone.
+        let plain = LightProfile::constant(Irradiance::HALF_SUN);
+        let mut untouched = 7usize;
+        assert_eq!(
+            plain.at_with_cursor(Seconds::new(1.0), &mut untouched),
+            Irradiance::HALF_SUN
+        );
+        assert_eq!(untouched, 7);
     }
 
     #[test]

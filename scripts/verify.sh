@@ -40,6 +40,14 @@ echo "== chaos: seeded campaign (writes BENCH_chaos.json) =="
 # goes unrecovered; the report is byte-for-byte reproducible per seed.
 cargo run --release -q -p hems-chaos -- --seed 7 --smoke --out BENCH_chaos.json > /dev/null
 
+echo "== fleet: smoke (writes BENCH_fleet.json) =="
+# Fleet-twin smoke campaign (DESIGN.md §14): a small seeded fleet runs a
+# full simulated day through the serve-backed planning tier, with
+# regional brownout storms and sampled commit-digest checks. The bin
+# exits nonzero on any crash-consistency violation or unrecovered storm;
+# the report lines are byte-for-byte reproducible per seed.
+cargo run --release -q -p hems-fleet -- --smoke --out BENCH_fleet.json > /dev/null
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 # The adaptive serial cutover guarantees the parallel engine entry never
@@ -73,7 +81,7 @@ cargo run --release -q --example metrics_query > /dev/null
 
 # The serve and obs benches self-validate their reports before exiting;
 # double-check the files landed where the docs say.
-for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json; do
+for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json BENCH_fleet.json; do
     [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
 done
 
