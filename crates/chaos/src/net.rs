@@ -54,6 +54,7 @@ pub fn install_panic_probe() {
     PROBE.get_or_init(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
+            // hems-lint: allow(taint, reason = "thread *name* only, to classify hems-serve-* panics into a counter; names are fixed strings, no os id reaches report bytes")
             let current = thread::current();
             let name = current.name().unwrap_or("");
             if name.starts_with("hems-serve-") {

@@ -52,7 +52,7 @@ impl DvfsLadder {
             }
             .into());
         }
-        levels.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        levels.sort_by(|a, b| a.volts().total_cmp(&b.volts()));
         levels.dedup();
         Ok(DvfsLadder { levels })
     }
@@ -90,16 +90,15 @@ impl DvfsLadder {
 
     /// Snaps `target` to the nearest rung.
     pub fn nearest(&self, target: Volts) -> Volts {
-        *self
-            .levels
+        self.levels
             .iter()
+            .copied()
             .min_by(|a, b| {
-                (**a - target)
-                    .abs()
-                    .partial_cmp(&(**b - target).abs())
-                    .expect("finite")
+                let da = (*a - target).abs().volts();
+                let db = (*b - target).abs().volts();
+                da.total_cmp(&db)
             })
-            .expect("non-empty by construction")
+            .unwrap_or(target)
     }
 
     /// The highest rung at or below `target`, or the lowest rung when all

@@ -60,6 +60,7 @@ impl FrequencyModel {
     /// `α = 2` — 1.2 GHz at 1.0 V, 66.7 MHz at 0.5 V (Fig. 11a).
     pub fn paper_65nm() -> FrequencyModel {
         FrequencyModel::new(Hertz::from_giga(10.0 / 3.0), Volts::new(0.4), 2.0)
+            // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's paper_65nm unit tests")
             .expect("reference parameters are valid")
     }
 

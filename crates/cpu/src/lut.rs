@@ -56,10 +56,12 @@ impl CpuLut {
         let f_max = MonotoneTable::from_fn(lo, hi, knots, |v| {
             cpu.frequency_model().max_frequency(Volts::new(v)).hertz()
         })
+        // hems-lint: allow(panic_reach, reason = "Microprocessor::new guarantees 0 < v_min < v_max and finite, so the sampling window is always valid")
         .expect("validated voltage window yields a valid sampling window");
         let leak = MonotoneTable::from_fn(lo, hi, knots, |v| {
             cpu.power_model().leakage(Volts::new(v)).watts()
         })
+        // hems-lint: allow(panic_reach, reason = "Microprocessor::new guarantees 0 < v_min < v_max and finite, so the sampling window is always valid")
         .expect("validated voltage window yields a valid sampling window");
         CpuLut {
             cpu,

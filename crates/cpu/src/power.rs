@@ -53,6 +53,7 @@ impl PowerModel {
             Amps::from_micro(50.0),
             Volts::new(0.2),
         )
+        // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's paper_65nm unit tests")
         .expect("reference parameters are valid")
     }
 

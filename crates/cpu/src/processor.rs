@@ -53,6 +53,7 @@ impl Microprocessor {
             Volts::new(0.45),
             Volts::new(1.0),
         )
+        // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's paper_65nm unit tests")
         .expect("reference parameters are valid")
     }
 

@@ -76,6 +76,7 @@ impl TaskChain {
             Task::new("classify", Cycles::new(55_000.0), 8),
             Task::new("report", Cycles::new(10_000.0), 4),
         ])
+        // hems-lint: allow(panic_reach, reason = "compile-time reference task list; validated by this module's unit tests")
         .expect("reference chain is valid")
     }
 

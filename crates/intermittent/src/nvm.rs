@@ -46,6 +46,7 @@ impl NvmModel {
     /// An FRAM-like memory: ~4 cycles per word write plus a 500-cycle
     /// commit sequence (driver entry, wear-leveled header, barrier).
     pub fn fram() -> NvmModel {
+        // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's unit tests")
         NvmModel::new(4.0, 500.0).expect("reference parameters are valid")
     }
 

@@ -99,6 +99,7 @@ impl IntermittentRuntime {
     pub fn new(chain: TaskChain, policy: CheckpointPolicy, nvm: NvmModel) -> IntermittentRuntime {
         policy
             .validate()
+            // hems-lint: allow(panic_reach, reason = "documented panic contract: this constructor's docs direct untrusted input through CheckpointPolicy::validate first")
             .expect("checkpoint policy failed validation");
         IntermittentRuntime {
             chain,

@@ -1,0 +1,464 @@
+//! The intra-workspace call graph, resolved best-effort from parsed
+//! call sites ([`crate::parser`]).
+//!
+//! Resolution is deliberately *over-approximate* — a static gate would
+//! rather follow one edge too many than miss a panic path:
+//!
+//! - **Path-qualified calls** (`module::helper(..)`, `Type::assoc(..)`,
+//!   `hems_core::sprint::plan(..)`) resolve by suffix-matching the path
+//!   against each function's full module chain (crate ident + file
+//!   module + inline modules) or its `impl` type name.
+//! - **Bare free calls** (`helper(..)`) resolve to same-file functions
+//!   of that name first, then to every workspace free function of that
+//!   name.
+//! - **Method calls** (`recv.method(..)`) resolve to every workspace
+//!   method of that name — except `self.method(..)` with a known
+//!   receiver type, which resolves precisely, and a blocklist of
+//!   ubiquitous std method names (`clone`, `iter`, `len`, ...) whose
+//!   name collisions would otherwise connect everything to everything.
+//!
+//! Functions in test regions are not nodes: test code may panic freely,
+//! and edges out of tests would be noise.
+
+use crate::parser::{CallKind, CallSite, FnItem, ParsedFile};
+use std::collections::HashMap;
+
+/// Method names resolved to std/core types rather than workspace impls.
+/// A dot-call with one of these names never creates a workspace edge
+/// (path-qualified calls like `Type::get(..)` still resolve precisely).
+const METHOD_BLOCKLIST: [&str; 79] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "ceil",
+    "chain",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "exp",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "next",
+    "ok",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "remove",
+    "rev",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "sqrt",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "trim",
+    "unwrap_or",
+    "values",
+    "zip",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node id.
+    pub to: usize,
+    /// 1-based line of the call site in the *caller's* file.
+    pub line: u32,
+    /// Index of the call site in the caller's `calls` list.
+    pub call_index: usize,
+}
+
+/// A call-graph node: one non-test function.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Index of the owning file in the build input.
+    pub file: usize,
+    /// Index into that file's `ParsedFile::fns`.
+    pub fn_index: usize,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All nodes; a node's id is its position here.
+    pub nodes: Vec<Node>,
+    /// Forward adjacency, parallel to `nodes`.
+    pub out: Vec<Vec<Edge>>,
+    /// Node id by `(file index, fn index)`.
+    pub node_of: HashMap<(usize, usize), usize>,
+}
+
+impl Graph {
+    /// Reverse adjacency (callee → callers), for backward walks.
+    pub fn reverse(&self) -> Vec<Vec<usize>> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (from, edges) in self.out.iter().enumerate() {
+            for e in edges {
+                if let Some(slot) = rev.get_mut(e.to) {
+                    slot.push(from);
+                }
+            }
+        }
+        rev
+    }
+}
+
+/// The crate identifier (as written in `use` paths) plus file-module
+/// chain for a workspace-relative path: `crates/sim/src/sweep.rs` →
+/// `["hems_sim", "sweep"]`, `src/lib.rs` → `["hems_repro"]`.
+pub fn module_chain(rel: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let mut chain = Vec::new();
+    let rest = match parts.as_slice() {
+        ["crates", name, "src", rest @ ..] => {
+            chain.push(format!("hems_{}", name.replace('-', "_")));
+            rest
+        }
+        ["src", rest @ ..] => {
+            chain.push("hems_repro".to_string());
+            rest
+        }
+        other => other,
+    };
+    for (i, part) in rest.iter().enumerate() {
+        let is_last = i + 1 == rest.len();
+        let stem = part.strip_suffix(".rs").unwrap_or(part);
+        if is_last && matches!(stem, "lib" | "main" | "mod") {
+            continue;
+        }
+        chain.push(stem.to_string());
+    }
+    chain
+}
+
+/// Builds the call graph over `(rel_path, parsed)` pairs.
+pub fn build(files: &[(&str, &ParsedFile)]) -> Graph {
+    let mut graph = Graph::default();
+    // Pass 1: nodes and name indexes.
+    let mut free_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut methods_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut methods_by_ty: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    let mut chains: Vec<Vec<String>> = Vec::with_capacity(files.len());
+    for (fi, (rel, parsed)) in files.iter().enumerate() {
+        chains.push(module_chain(rel));
+        for (ki, f) in parsed.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let id = graph.nodes.len();
+            graph.nodes.push(Node {
+                file: fi,
+                fn_index: ki,
+            });
+            graph.node_of.insert((fi, ki), id);
+            match &f.self_ty {
+                Some(ty) => {
+                    methods_by_name.entry(&f.name).or_default().push(id);
+                    methods_by_ty
+                        .entry((ty.as_str(), &f.name))
+                        .or_default()
+                        .push(id);
+                }
+                None => free_by_name.entry(&f.name).or_default().push(id),
+            }
+        }
+    }
+    // Pass 2: edges.
+    graph.out = vec![Vec::new(); graph.nodes.len()];
+    for (fi, (_, parsed)) in files.iter().enumerate() {
+        for (ki, f) in parsed.fns.iter().enumerate() {
+            let Some(&from) = graph.node_of.get(&(fi, ki)) else {
+                continue;
+            };
+            for (ci, call) in f.calls.iter().enumerate() {
+                let targets = resolve(
+                    call,
+                    f,
+                    fi,
+                    files,
+                    &chains,
+                    &graph,
+                    &free_by_name,
+                    &methods_by_name,
+                    &methods_by_ty,
+                );
+                if let Some(slot) = graph.out.get_mut(from) {
+                    slot.extend(targets.into_iter().map(|to| Edge {
+                        to,
+                        line: call.line,
+                        call_index: ci,
+                    }));
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Resolves one call site to zero or more node ids.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &CallSite,
+    caller: &FnItem,
+    caller_file: usize,
+    files: &[(&str, &ParsedFile)],
+    chains: &[Vec<String>],
+    graph: &Graph,
+    free_by_name: &HashMap<&str, Vec<usize>>,
+    methods_by_name: &HashMap<&str, Vec<usize>>,
+    methods_by_ty: &HashMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    match call.kind {
+        CallKind::Method => {
+            // `self.m(..)` with a known impl type resolves precisely.
+            if call.receiver_is_self {
+                if let Some(ty) = &caller.self_ty {
+                    if let Some(ids) = methods_by_ty.get(&(ty.as_str(), call.name.as_str())) {
+                        return ids.clone();
+                    }
+                }
+            }
+            if METHOD_BLOCKLIST.binary_search(&call.name.as_str()).is_ok() {
+                return Vec::new();
+            }
+            methods_by_name
+                .get(call.name.as_str())
+                .cloned()
+                .unwrap_or_default()
+        }
+        CallKind::Free if call.path.is_empty() => {
+            let Some(candidates) = free_by_name.get(call.name.as_str()) else {
+                return Vec::new();
+            };
+            // Same-file candidates shadow the rest of the workspace.
+            let local: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| graph.nodes.get(id).is_some_and(|n| n.file == caller_file))
+                .collect();
+            if local.is_empty() {
+                candidates.clone()
+            } else {
+                local
+            }
+        }
+        CallKind::Free => {
+            // Path-qualified. A type-like final segment (`Type::m`,
+            // `Self::m`) resolves through the method table; a
+            // module-like path suffix-matches the module chain.
+            let last = call.path.last().map(String::as_str).unwrap_or_default();
+            let ty = if last == "Self" {
+                caller.self_ty.as_deref()
+            } else if last.starts_with(char::is_uppercase) {
+                Some(last)
+            } else {
+                None
+            };
+            if let Some(ty) = ty {
+                return methods_by_ty
+                    .get(&(ty, call.name.as_str()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            let wanted: Vec<&str> = call
+                .path
+                .iter()
+                .map(String::as_str)
+                .filter(|s| !matches!(*s, "crate" | "self" | "super"))
+                .collect();
+            let Some(candidates) = free_by_name.get(call.name.as_str()) else {
+                return Vec::new();
+            };
+            if wanted.is_empty() {
+                // `crate::helper(..)`: same-crate free fns of that name.
+                let caller_crate = chains
+                    .get(caller_file)
+                    .and_then(|c| c.first())
+                    .cloned()
+                    .unwrap_or_default();
+                return candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        graph
+                            .nodes
+                            .get(id)
+                            .and_then(|n| chains.get(n.file))
+                            .and_then(|c| c.first())
+                            .is_some_and(|c| *c == caller_crate)
+                    })
+                    .collect();
+            }
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let Some(node) = graph.nodes.get(id) else {
+                        return false;
+                    };
+                    let mut full: Vec<&str> = chains
+                        .get(node.file)
+                        .map(|c| c.iter().map(String::as_str).collect())
+                        .unwrap_or_default();
+                    // Inline modules extend the file's chain.
+                    if let Some((_, parsed)) = files.get(node.file) {
+                        if let Some(f) = parsed.fns.get(node.fn_index) {
+                            full.extend(f.module.iter().map(String::as_str));
+                        }
+                    }
+                    full.ends_with(&wanted)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        let tokens = lex(src);
+        let in_test = vec![false; tokens.len()];
+        ParsedFile::parse(&tokens, &in_test)
+    }
+
+    fn names_of(graph: &Graph, files: &[(&str, &ParsedFile)], ids: &[usize]) -> Vec<String> {
+        ids.iter()
+            .map(|&id| {
+                let n = graph.nodes[id];
+                files[n.file].1.fns[n.fn_index].qualified()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn module_chains_cover_crates_root_and_nested_files() {
+        assert_eq!(
+            module_chain("crates/sim/src/sweep.rs"),
+            vec!["hems_sim", "sweep"]
+        );
+        assert_eq!(module_chain("crates/sim/src/lib.rs"), vec!["hems_sim"]);
+        assert_eq!(module_chain("src/main.rs"), vec!["hems_repro"]);
+        assert_eq!(
+            module_chain("crates/serve/src/bin/router.rs"),
+            vec!["hems_serve", "bin", "router"]
+        );
+    }
+
+    #[test]
+    fn free_path_and_method_calls_resolve_across_files() {
+        let a = parsed("pub fn entry() { helper(); sweep::deep(); s.plan(); }\nfn helper() {}\n");
+        let b = parsed("pub fn deep() {}\n");
+        let c = parsed("pub struct S;\nimpl S { pub fn plan(&self) {} }\n");
+        let files: Vec<(&str, &ParsedFile)> = vec![
+            ("crates/serve/src/server.rs", &a),
+            ("crates/sim/src/sweep.rs", &b),
+            ("crates/core/src/planner.rs", &c),
+        ];
+        let graph = build(&files);
+        let entry = graph.node_of[&(0, 0)];
+        let callees: Vec<usize> = graph.out[entry].iter().map(|e| e.to).collect();
+        let mut quals = names_of(&graph, &files, &callees);
+        quals.sort();
+        assert_eq!(quals, vec!["S::plan", "deep", "helper"]);
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_the_impl_type_only() {
+        let a = parsed(
+            "pub struct A;\nimpl A { pub fn run(&self) { self.step(); } fn step(&self) {} }\n\
+             pub struct B;\nimpl B { pub fn step(&self) {} }\n",
+        );
+        let files: Vec<(&str, &ParsedFile)> = vec![("crates/core/src/x.rs", &a)];
+        let graph = build(&files);
+        let run = graph
+            .nodes
+            .iter()
+            .position(|n| a.fns[n.fn_index].name == "run")
+            .unwrap();
+        let callees: Vec<usize> = graph.out[run].iter().map(|e| e.to).collect();
+        assert_eq!(names_of(&graph, &files, &callees), vec!["A::step"]);
+    }
+
+    #[test]
+    fn blocklisted_method_names_make_no_edges() {
+        let a = parsed("pub fn f() { xs.iter(); v.clone(); m.get(0); }\n");
+        let b = parsed("pub struct T;\nimpl T { pub fn iter(&self) {} pub fn get(&self) {} }\n");
+        let files: Vec<(&str, &ParsedFile)> =
+            vec![("crates/core/src/a.rs", &a), ("crates/core/src/b.rs", &b)];
+        let graph = build(&files);
+        let f = graph.node_of[&(0, 0)];
+        assert!(graph.out[f].is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let src = "#[cfg(test)]\nmod tests { fn check() { helper(); } }\npub fn helper() {}\n";
+        let tokens = lex(src);
+        let sf = crate::source::SourceFile::parse("crates/core/src/a.rs", src);
+        let parsed = ParsedFile::parse(&tokens, &sf.in_test);
+        let files: Vec<(&str, &ParsedFile)> = vec![("crates/core/src/a.rs", &parsed)];
+        let graph = build(&files);
+        assert_eq!(graph.nodes.len(), 1); // only `helper`
+    }
+
+    #[test]
+    fn blocklist_is_sorted_for_binary_search() {
+        let mut sorted = METHOD_BLOCKLIST.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, METHOD_BLOCKLIST.to_vec());
+    }
+}

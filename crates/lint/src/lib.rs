@@ -43,7 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
 pub mod source;

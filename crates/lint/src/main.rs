@@ -61,6 +61,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let started_ns = hems_obs::clock::monotonic_ns();
     let cfg = load_config(&options.root);
     let analysis = match analyze_workspace(&options.root, &cfg) {
         Ok(analysis) => analysis,
@@ -69,6 +70,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall_ms = hems_obs::clock::monotonic_ns().saturating_sub(started_ns) / 1_000_000;
 
     if options.write_baseline {
         let text = Baseline::render(&analysis.findings);
@@ -92,25 +94,39 @@ fn main() -> ExitCode {
     };
     let (fresh, baselined) = baseline.partition(analysis.findings);
 
+    let passes = analysis.passes;
     if options.json {
         for finding in &fresh {
             println!("{}", finding.render_json());
         }
         println!(
-            "{{\"summary\":true,\"files\":{},\"findings\":{},\"baselined\":{}}}",
+            "{{\"summary\":true,\"files\":{},\"findings\":{},\"baselined\":{},\
+             \"wall_ms\":{wall_ms},\"functions\":{},\"edges\":{},\
+             \"passes\":{{\"panic_reach\":{},\"lock_order\":{},\"taint\":{}}}}}",
             analysis.files_scanned,
             fresh.len(),
-            baselined.len()
+            baselined.len(),
+            passes.functions,
+            passes.edges,
+            passes.panic_reach,
+            passes.lock_order,
+            passes.taint,
         );
     } else {
         for finding in &fresh {
             println!("{}", finding.render_human());
         }
         println!(
-            "hems-lint: {} file(s), {} finding(s), {} baselined",
+            "hems-lint: {} file(s), {} finding(s), {} baselined \
+             ({} fns, {} edges; panic_reach {}, lock_order {}, taint {}; {wall_ms} ms)",
             analysis.files_scanned,
             fresh.len(),
-            baselined.len()
+            baselined.len(),
+            passes.functions,
+            passes.edges,
+            passes.panic_reach,
+            passes.lock_order,
+            passes.taint,
         );
     }
     if fresh.is_empty() {

@@ -1,0 +1,815 @@
+//! A hand-rolled recursive-descent parser over the [`crate::lexer`]
+//! token stream, just deep enough for interprocedural analysis.
+//!
+//! The parser builds a lightweight *item tree*: modules, `impl` blocks,
+//! traits, functions (with their body token ranges), and struct field
+//! names. Inside every function body it extracts *call sites* — free
+//! calls, path-qualified calls (`module::helper(..)`,
+//! `Type::method(..)`), and method calls (`recv.method(..)`) — which the
+//! call graph ([`crate::callgraph`]) later resolves best-effort against
+//! the whole workspace.
+//!
+//! Like the lexer, the parser is infallible by construction: anything it
+//! does not understand (exotic const generics, macro definitions, code
+//! produced by future Rust editions) degrades into "skip to the next
+//! balanced delimiter" rather than an error. A lint gate must never
+//! crash on — or refuse to judge — the code in front of it.
+
+use crate::lexer::{Token, TokenKind};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` or `a::b::name(..)` — a free or associated call.
+    Free,
+    /// `recv.name(..)` — a method call, resolved by name.
+    Method,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called identifier (`helper`, `lock`, `unwrap`, ...).
+    pub name: String,
+    /// Path segments qualifying a [`CallKind::Free`] call, innermost
+    /// last: `hems_core::sprint::plan(..)` → `["hems_core", "sprint"]`.
+    pub path: Vec<String>,
+    /// Free/associated versus method call.
+    pub kind: CallKind,
+    /// For method calls: `true` when the receiver is exactly `self`.
+    pub receiver_is_self: bool,
+    /// For method calls: the last identifier of the receiver chain
+    /// (`self.injector.queue.lock()` → `queue`), used as the
+    /// best-effort lock identity.
+    pub receiver_ident: Option<String>,
+    /// 1-based line of the called identifier.
+    pub line: u32,
+    /// Index of the called identifier in the file's token stream.
+    pub token_index: usize,
+}
+
+/// One `fn` item (free function, inherent/trait method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// Inline-module path from the file root down to the item.
+    pub module: Vec<String>,
+    /// The `impl`/`trait` type this is a method of, generics stripped.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// `true` when the item sits inside a `#[cfg(test)]`/`mod tests`
+    /// region (excluded from the call graph).
+    pub is_test: bool,
+    /// Token range of the body: `[open_brace, close_brace]` inclusive.
+    /// `None` for bodiless trait/extern declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites extracted from the body, in token order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Display path: `Type::name`, `module::name`, or bare `name`.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None if self.module.is_empty() => self.name.clone(),
+            None => format!("{}::{}", self.module.join("::"), self.name),
+        }
+    }
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// The owning struct's name.
+    pub owner: String,
+    /// The field's name.
+    pub name: String,
+    /// Identifiers appearing in the field's type
+    /// (`Mutex<HashMap<String, Metric>>` → `[Mutex, HashMap, String,
+    /// Metric]`) — enough to know a field is hash-ordered.
+    pub type_idents: Vec<String>,
+}
+
+/// The parsed view of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnItem>,
+    /// Named struct fields — the ground truth for "is `.expect` a
+    /// field here, not a call?" and for hash-typed field detection.
+    pub struct_fields: Vec<FieldInfo>,
+}
+
+impl ParsedFile {
+    /// Parses the item tree out of a lexed file. `in_test` is the
+    /// parallel test-region marking from [`crate::source`].
+    pub fn parse(tokens: &[Token], in_test: &[bool]) -> ParsedFile {
+        let mut parser = Parser {
+            tokens,
+            in_test,
+            out: ParsedFile::default(),
+        };
+        let end = tokens.len();
+        parser.items(0, end, &mut Vec::new(), None);
+        parser.out
+    }
+
+    /// The impl/trait type of the function whose body contains `token
+    /// index`, if any.
+    pub fn enclosing_self_ty(&self, index: usize) -> Option<&str> {
+        self.fns
+            .iter()
+            .find(|f| f.body.is_some_and(|(lo, hi)| lo <= index && index <= hi))
+            .and_then(|f| f.self_ty.as_deref())
+    }
+
+    /// `true` when `ty` declares a method called `name` in this file.
+    pub fn has_method(&self, ty: &str, name: &str) -> bool {
+        self.fns
+            .iter()
+            .any(|f| f.self_ty.as_deref() == Some(ty) && f.name == name)
+    }
+
+    /// `true` when `ty` declares a field called `name` in this file.
+    pub fn has_field(&self, ty: &str, name: &str) -> bool {
+        self.struct_fields
+            .iter()
+            .any(|f| f.owner == ty && f.name == name)
+    }
+}
+
+/// Identifiers that can directly precede `(` without being a call.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "where", "yield",
+];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn significant(&self, mut i: usize, end: usize) -> Option<(usize, &Token)> {
+        while i < end {
+            if let Some(t) = self.tokens.get(i) {
+                if !t.is_comment() {
+                    return Some((i, t));
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    /// Index one past the delimiter that balances the opener at `open`.
+    fn skip_balanced(&self, open: usize, end: usize, open_text: &str, close_text: &str) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            if let Some(t) = self.tokens.get(i) {
+                if t.kind == TokenKind::Punct {
+                    if t.text == open_text {
+                        depth += 1;
+                    } else if t.text == close_text {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips an attribute starting at `#`; returns the index after `]`.
+    fn skip_attribute(&self, hash: usize, end: usize) -> usize {
+        let mut i = hash + 1;
+        if self.is_punct(i, "!") {
+            i += 1;
+        }
+        if self.is_punct(i, "[") {
+            return self.skip_balanced(i, end, "[", "]");
+        }
+        i
+    }
+
+    /// Item-level scan of `[start, end)` under `module` / `self_ty`.
+    fn items(&mut self, start: usize, end: usize, module: &mut Vec<String>, self_ty: Option<&str>) {
+        let mut i = start;
+        while i < end {
+            let Some((at, token)) = self.significant(i, end) else {
+                break;
+            };
+            i = at;
+            if token.kind == TokenKind::Punct && token.text == "#" {
+                i = self.skip_attribute(i, end);
+                continue;
+            }
+            if token.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            match token.text.as_str() {
+                "mod" => i = self.item_mod(i, end, module, self_ty),
+                "impl" => i = self.item_impl(i, end, module),
+                "trait" => i = self.item_trait(i, end, module),
+                "fn" => i = self.item_fn(i, end, module, self_ty),
+                "struct" | "union" => i = self.item_struct(i, end),
+                // Items whose bodies contain no functions we model: skip
+                // to the terminating `;` or over the balanced `{..}`.
+                "enum" | "use" | "extern" | "macro_rules" | "static" | "const" | "type" => {
+                    i = self.skip_item(i + 1, end)
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Advances past a non-fn item: to one past its `;`, or over its
+    /// balanced `{..}` body, whichever comes first.
+    fn skip_item(&self, from: usize, end: usize) -> usize {
+        let mut i = from;
+        while i < end {
+            if self.is_punct(i, ";") {
+                return i + 1;
+            }
+            if self.is_punct(i, "{") {
+                return self.skip_balanced(i, end, "{", "}");
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn item_mod(
+        &mut self,
+        mod_kw: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+    ) -> usize {
+        let Some((ni, name)) = self.significant(mod_kw + 1, end) else {
+            return end;
+        };
+        if name.kind != TokenKind::Ident {
+            return ni + 1;
+        }
+        let mod_name = name.text.clone();
+        let Some((oi, opener)) = self.significant(ni + 1, end) else {
+            return end;
+        };
+        if opener.kind == TokenKind::Punct && opener.text == "{" {
+            let close = self.skip_balanced(oi, end, "{", "}");
+            module.push(mod_name);
+            self.items(oi + 1, close.saturating_sub(1), module, self_ty);
+            module.pop();
+            close
+        } else {
+            oi + 1 // `mod name;` — an out-of-line module, its own file
+        }
+    }
+
+    /// `impl [<..>] [Trait [for]] Type [<..>] [where ..] { items }`.
+    fn item_impl(&mut self, impl_kw: usize, end: usize, module: &mut Vec<String>) -> usize {
+        let mut i = impl_kw + 1;
+        if self.is_punct(i, "<") {
+            i = self.skip_balanced(i, end, "<", ">");
+        }
+        // The implementing type is the last top-level path identifier
+        // before `where`/`{` — in `impl Trait for a::b::Type<T>` and in
+        // `impl Type` alike — with generic and paren groups skipped.
+        let mut ty: Option<String> = None;
+        while i < end {
+            let Some((at, t)) = self.significant(i, end) else {
+                return end;
+            };
+            i = at;
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") => break,
+                (TokenKind::Punct, "<") => {
+                    i = self.skip_balanced(i, end, "<", ">");
+                    continue;
+                }
+                (TokenKind::Punct, "(") => {
+                    i = self.skip_balanced(i, end, "(", ")");
+                    continue;
+                }
+                (TokenKind::Ident, "where") => {
+                    // Bounds follow; the type is already in hand.
+                    while i < end && !self.is_punct(i, "{") {
+                        if self.is_punct(i, "<") {
+                            i = self.skip_balanced(i, end, "<", ">");
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break;
+                }
+                (TokenKind::Ident, name) if !matches!(name, "for" | "dyn" | "mut" | "const") => {
+                    ty = Some(name.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !self.is_punct(i, "{") {
+            return i + 1;
+        }
+        let close = self.skip_balanced(i, end, "{", "}");
+        if let Some(ty) = ty {
+            self.items(i + 1, close.saturating_sub(1), module, Some(&ty));
+        }
+        close
+    }
+
+    /// `trait Name [<..>] [: bounds] { items }` — default method bodies
+    /// are real code, attributed to the trait as their `self_ty`.
+    fn item_trait(&mut self, trait_kw: usize, end: usize, module: &mut Vec<String>) -> usize {
+        let Some((ni, name)) = self.significant(trait_kw + 1, end) else {
+            return end;
+        };
+        if name.kind != TokenKind::Ident {
+            return ni + 1;
+        }
+        let trait_name = name.text.clone();
+        let mut i = ni + 1;
+        while i < end {
+            if self.is_punct(i, "{") {
+                break;
+            }
+            if self.is_punct(i, ";") {
+                return i + 1; // `trait Alias = ..;`
+            }
+            if self.is_punct(i, "<") {
+                i = self.skip_balanced(i, end, "<", ">");
+                continue;
+            }
+            i += 1;
+        }
+        if !self.is_punct(i, "{") {
+            return end;
+        }
+        let close = self.skip_balanced(i, end, "{", "}");
+        self.items(i + 1, close.saturating_sub(1), module, Some(&trait_name));
+        close
+    }
+
+    /// `struct Name [<..>] { field: Ty, .. }` — records named fields.
+    fn item_struct(&mut self, struct_kw: usize, end: usize) -> usize {
+        let Some((ni, name)) = self.significant(struct_kw + 1, end) else {
+            return end;
+        };
+        if name.kind != TokenKind::Ident {
+            return ni + 1;
+        }
+        let ty = name.text.clone();
+        let mut i = ni + 1;
+        while i < end {
+            if self.is_punct(i, ";") {
+                return i + 1; // unit or tuple struct terminator
+            }
+            if self.is_punct(i, "(") {
+                i = self.skip_balanced(i, end, "(", ")");
+                continue;
+            }
+            if self.is_punct(i, "<") {
+                i = self.skip_balanced(i, end, "<", ">");
+                continue;
+            }
+            if self.is_punct(i, "{") {
+                break;
+            }
+            i += 1;
+        }
+        if !self.is_punct(i, "{") {
+            return end;
+        }
+        let close = self.skip_balanced(i, end, "{", "}");
+        // A field is `ident :` at brace depth 1 (skipping attributes,
+        // visibility, and the types after the colon).
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < close {
+            if self.is_punct(j, "{") {
+                depth += 1;
+            } else if self.is_punct(j, "}") {
+                depth = depth.saturating_sub(1);
+            } else if self.is_punct(j, "#") {
+                j = self.skip_attribute(j, close);
+                continue;
+            } else if depth == 1 {
+                if let Some(t) = self.tokens.get(j) {
+                    if t.kind == TokenKind::Ident
+                        && t.text != "pub"
+                        && self
+                            .significant(j + 1, close)
+                            .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == ":")
+                    {
+                        // Collect the type's identifiers to the `,` at
+                        // depth 1 (angle/paren groups balanced).
+                        let field_name = t.text.clone();
+                        let (after, type_idents) = self.field_type(j + 1, close);
+                        self.out.struct_fields.push(FieldInfo {
+                            owner: ty.clone(),
+                            name: field_name,
+                            type_idents,
+                        });
+                        j = after;
+                        continue;
+                    }
+                }
+            }
+            j += 1;
+        }
+        close
+    }
+
+    /// From a field's `:`, collects the type's identifiers up to the
+    /// `,` ending the field (or the closing brace); returns the index
+    /// one past the field and the identifiers.
+    fn field_type(&self, from: usize, end: usize) -> (usize, Vec<String>) {
+        let mut idents = Vec::new();
+        let mut depth = 0usize; // <..>, (..), [..] groups, together
+        let mut i = from;
+        while i < end {
+            if let Some(t) = self.tokens.get(i) {
+                match (t.kind, t.text.as_str()) {
+                    (TokenKind::Punct, "<" | "(" | "[") => depth += 1,
+                    (TokenKind::Punct, ">" | ")" | "]") => depth = depth.saturating_sub(1),
+                    (TokenKind::Punct, ",") if depth == 0 => return (i + 1, idents),
+                    (TokenKind::Punct, "}") if depth == 0 => return (i, idents),
+                    (TokenKind::Ident, _) => idents.push(t.text.clone()),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        (end, idents)
+    }
+
+    /// `fn name [<..>] ( args ) [-> ty] [where ..] { body }` or `;`.
+    fn item_fn(
+        &mut self,
+        fn_kw: usize,
+        end: usize,
+        module: &mut [String],
+        self_ty: Option<&str>,
+    ) -> usize {
+        let Some((ni, name)) = self.significant(fn_kw + 1, end) else {
+            return end;
+        };
+        if name.kind != TokenKind::Ident {
+            return ni + 1;
+        }
+        let fn_name = name.text.clone();
+        let fn_line = name.line;
+        let is_test = self.in_test.get(ni).copied().unwrap_or(false);
+        // Scan the signature to the body `{` or a bodiless `;`,
+        // balancing generics and parameter parens along the way.
+        let mut i = ni + 1;
+        let mut body: Option<(usize, usize)> = None;
+        while i < end {
+            if self.is_punct(i, "<") {
+                i = self.skip_balanced(i, end, "<", ">");
+                continue;
+            }
+            if self.is_punct(i, "(") {
+                i = self.skip_balanced(i, end, "(", ")");
+                continue;
+            }
+            if self.is_punct(i, ";") {
+                i += 1;
+                break;
+            }
+            if self.is_punct(i, "{") {
+                let close = self.skip_balanced(i, end, "{", "}");
+                body = Some((i, close.saturating_sub(1)));
+                i = close;
+                break;
+            }
+            i += 1;
+        }
+        let calls = match body {
+            Some((lo, hi)) => self.call_sites(lo + 1, hi),
+            None => Vec::new(),
+        };
+        self.out.fns.push(FnItem {
+            name: fn_name,
+            module: module.to_vec(),
+            self_ty: self_ty.map(str::to_string),
+            line: fn_line,
+            is_test,
+            body,
+            calls,
+        });
+        i
+    }
+
+    /// Extracts call sites from a body token range `[start, end)`.
+    fn call_sites(&self, start: usize, end: usize) -> Vec<CallSite> {
+        let mut calls = Vec::new();
+        let mut i = start;
+        while i < end {
+            let Some(token) = self.tokens.get(i) else {
+                break;
+            };
+            if token.is_comment() || token.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = token.text.as_str();
+            let followed_by_paren = self
+                .significant(i + 1, end)
+                .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == "(");
+            if !followed_by_paren || NON_CALL_KEYWORDS.contains(&name) {
+                i += 1;
+                continue;
+            }
+            let site = self.classify_call(i, start, name, token.line);
+            if let Some(site) = site {
+                calls.push(site);
+            }
+            i += 1;
+        }
+        calls
+    }
+
+    /// Classifies the call whose name ident is at `i`, looking backward
+    /// (never before `floor`) for `.` receivers or `::` path segments.
+    fn classify_call(&self, i: usize, floor: usize, name: &str, line: u32) -> Option<CallSite> {
+        let prev = self.prev_significant(i, floor);
+        match prev {
+            Some((pi, p)) if p.kind == TokenKind::Punct && p.text == "." => {
+                // Method call. Identify the receiver's trailing ident.
+                let recv = self.prev_significant(pi, floor);
+                let (receiver_is_self, receiver_ident) = match recv {
+                    Some((ri, r)) if r.kind == TokenKind::Ident => {
+                        let further = self.prev_significant(ri, floor);
+                        let chained = further
+                            .is_some_and(|(_, f)| f.kind == TokenKind::Punct && f.text == ".");
+                        (r.text == "self" && !chained, Some(r.text.clone()))
+                    }
+                    _ => (false, None),
+                };
+                Some(CallSite {
+                    name: name.to_string(),
+                    path: Vec::new(),
+                    kind: CallKind::Method,
+                    receiver_is_self,
+                    receiver_ident,
+                    line,
+                    token_index: i,
+                })
+            }
+            Some((pi, p)) if p.kind == TokenKind::Punct && p.text == ":" => {
+                // Possibly `a::b::name(` — collect segments backward.
+                let path = self.path_segments_before(pi, floor)?;
+                Some(CallSite {
+                    name: name.to_string(),
+                    path,
+                    kind: CallKind::Free,
+                    receiver_is_self: false,
+                    receiver_ident: None,
+                    line,
+                    token_index: i,
+                })
+            }
+            _ => Some(CallSite {
+                name: name.to_string(),
+                path: Vec::new(),
+                kind: CallKind::Free,
+                receiver_is_self: false,
+                receiver_ident: None,
+                line,
+                token_index: i,
+            }),
+        }
+    }
+
+    /// Collects `a::b::` segments ending at the second `:` of the final
+    /// `::` (index `second_colon`), walking backward. Returns segments
+    /// in source order. `None` when the shape is not a path.
+    fn path_segments_before(&self, second_colon: usize, floor: usize) -> Option<Vec<String>> {
+        let (fi, first) = self.prev_significant(second_colon, floor)?;
+        if !(first.kind == TokenKind::Punct && first.text == ":") {
+            return None;
+        }
+        let mut segments: Vec<String> = Vec::new();
+        let mut i = fi;
+        while let Some((si, seg)) = self.prev_significant(i, floor) {
+            // Turbofish: `Vec::<f64>::new(` — skip the `<..>` group and
+            // the `::` in front of it when present.
+            if seg.kind == TokenKind::Punct && seg.text == ">" {
+                let open = self.rev_skip_angles(si, floor)?;
+                let (ci, c2) = self.prev_significant(open, floor)?;
+                if c2.kind == TokenKind::Punct && c2.text == ":" {
+                    let (c1i, c1) = self.prev_significant(ci, floor)?;
+                    if c1.kind == TokenKind::Punct && c1.text == ":" {
+                        i = c1i;
+                        continue;
+                    }
+                }
+                i = open;
+                continue;
+            }
+            if seg.kind != TokenKind::Ident {
+                break;
+            }
+            segments.push(seg.text.clone());
+            // Another `::` before this segment?
+            let Some((ci, c2)) = self.prev_significant(si, floor) else {
+                break;
+            };
+            if !(c2.kind == TokenKind::Punct && c2.text == ":") {
+                break;
+            }
+            let Some((c1i, c1)) = self.prev_significant(ci, floor) else {
+                break;
+            };
+            if !(c1.kind == TokenKind::Punct && c1.text == ":") {
+                break;
+            }
+            i = c1i;
+        }
+        if segments.is_empty() {
+            return None;
+        }
+        segments.reverse();
+        Some(segments)
+    }
+
+    /// From a closing `>` at `close`, walks back to its matching `<`;
+    /// returns the index of the `<`.
+    fn rev_skip_angles(&self, close: usize, floor: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut i = close + 1;
+        while i > floor {
+            i -= 1;
+            let t = self.tokens.get(i)?;
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            if t.text == ">" {
+                depth += 1;
+            } else if t.text == "<" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn prev_significant(&self, before: usize, floor: usize) -> Option<(usize, &Token)> {
+        let mut i = before;
+        while i > floor {
+            i -= 1;
+            if let Some(t) = self.tokens.get(i) {
+                if !t.is_comment() {
+                    return Some((i, t));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let tokens = lex(src);
+        let in_test = vec![false; tokens.len()];
+        ParsedFile::parse(&tokens, &in_test)
+    }
+
+    #[test]
+    fn free_fns_methods_and_modules_get_qualified_names() {
+        let parsed = parse(
+            "fn top() {}\n\
+             mod inner { fn nested() {} }\n\
+             struct S { field: u32 }\n\
+             impl S { fn method(&self) {} }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }\n\
+             trait T { fn required(&self); fn defaulted(&self) { self.required(); } }\n",
+        );
+        let quals: Vec<String> = parsed.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "top",
+                "inner::nested",
+                "S::method",
+                "S::fmt",
+                "T::required",
+                "T::defaulted"
+            ]
+        );
+        assert!(parsed.has_field("S", "field"));
+        // The trait default method's body yielded a self-method call.
+        let defaulted = parsed.fns.iter().find(|f| f.name == "defaulted").unwrap();
+        assert_eq!(defaulted.calls.len(), 1);
+        assert!(defaulted.calls[0].receiver_is_self);
+        // The bodiless required method has no body and no calls.
+        let required = parsed.fns.iter().find(|f| f.name == "required").unwrap();
+        assert!(required.body.is_none());
+    }
+
+    #[test]
+    fn call_sites_classify_free_path_and_method_calls() {
+        let parsed = parse(
+            "fn f() {\n\
+                 helper();\n\
+                 module::helper2(1);\n\
+                 Type::assoc(2);\n\
+                 a::b::deep(3);\n\
+                 recv.method(4);\n\
+                 self.own();\n\
+                 self.inner.chained();\n\
+                 Vec::<f64>::with_capacity(8);\n\
+             }\n",
+        );
+        let f = &parsed.fns[0];
+        let find = |n: &str| f.calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("helper").kind, CallKind::Free);
+        assert!(find("helper").path.is_empty());
+        assert_eq!(find("helper2").path, vec!["module"]);
+        assert_eq!(find("assoc").path, vec!["Type"]);
+        assert_eq!(find("deep").path, vec!["a", "b"]);
+        assert_eq!(find("method").kind, CallKind::Method);
+        assert_eq!(find("method").receiver_ident.as_deref(), Some("recv"));
+        assert!(find("own").receiver_is_self);
+        assert!(!find("chained").receiver_is_self);
+        assert_eq!(find("chained").receiver_ident.as_deref(), Some("inner"));
+        assert_eq!(find("with_capacity").path, vec!["Vec"]);
+    }
+
+    #[test]
+    fn keywords_struct_literals_and_non_calls_are_not_call_sites() {
+        let parsed = parse(
+            "fn f() {\n\
+                 if (a) { b; }\n\
+                 while (c) {}\n\
+                 match (d) { _ => {} }\n\
+                 return (e);\n\
+                 let s = S { expect: 3 };\n\
+                 let field = s.expect;\n\
+             }\n",
+        );
+        let f = &parsed.fns[0];
+        assert!(f.calls.is_empty(), "{:?}", f.calls);
+    }
+
+    #[test]
+    fn impl_headers_with_generics_and_where_clauses_resolve_the_type() {
+        let parsed = parse(
+            "impl<T: Clone> Wrapper<T> where T: Send { fn get(&self) {} }\n\
+             impl<T> From<T> for Holder<T> { fn from(t: T) {} }\n",
+        );
+        let quals: Vec<String> = parsed.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, vec!["Wrapper::get", "Holder::from"]);
+    }
+
+    #[test]
+    fn raw_strings_and_macro_bodies_do_not_derail_item_scanning() {
+        let parsed = parse(
+            "fn before() {}\n\
+             const X: &str = r#\"fn fake() { nothing.real() }\"#;\n\
+             fn after() { format!(\"{}\", inner_call()); }\n",
+        );
+        let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["before", "after"]);
+        // Calls inside macro argument lists are still observed.
+        let after = parsed.fns.iter().find(|f| f.name == "after").unwrap();
+        assert!(after.calls.iter().any(|c| c.name == "inner_call"));
+    }
+
+    #[test]
+    fn bodies_of_test_fns_are_marked_test() {
+        let src = "#[cfg(test)]\nmod tests { fn check() { x.unwrap(); } }\nfn live() {}\n";
+        let tokens = lex(src);
+        let in_test = crate::source::SourceFile::parse("crates/demo/src/lib.rs", src).in_test;
+        let parsed = ParsedFile::parse(&tokens, &in_test);
+        let check = parsed.fns.iter().find(|f| f.name == "check").unwrap();
+        let live = parsed.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(check.is_test);
+        assert!(!live.is_test);
+    }
+}

@@ -24,6 +24,7 @@
 //! directives (reason required) suppress single findings in place.
 
 use crate::lexer::{Token, TokenKind};
+use crate::parser::ParsedFile;
 use crate::report::Finding;
 use crate::source::{next_significant, prev_significant, SourceFile};
 use std::collections::HashSet;
@@ -85,6 +86,10 @@ pub fn timing_rule_applies(rel: &str) -> bool {
     rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/sim/src/")
         || (rel.starts_with("crates/fleet/src/") && rel != "crates/fleet/src/main.rs")
+        // Dogfood: the lint gate's own output must not depend on the
+        // wall clock or the environment either (its one legitimate env
+        // read, root discovery in `main.rs`, is allowlisted).
+        || rel.starts_with("crates/lint/src/")
 }
 
 /// Every scanned path except the one module allowed to read the wall
@@ -121,12 +126,19 @@ pub struct ErrorTypeFacts {
 }
 
 /// Runs every applicable per-file rule; returns findings plus the
-/// error-type facts for the cross-file hygiene pass.
-pub fn check_file(file: &SourceFile, cfg: &RuleConfig) -> (Vec<Finding>, ErrorTypeFacts) {
+/// error-type facts for the cross-file hygiene pass. `parsed` is the
+/// file's item tree ([`ParsedFile`]) — the panic scan consults it to
+/// tell a workspace method named `expect`/`unwrap` from the `Option`/
+/// `Result` panic adapters.
+pub fn check_file(
+    file: &SourceFile,
+    parsed: &ParsedFile,
+    cfg: &RuleConfig,
+) -> (Vec<Finding>, ErrorTypeFacts) {
     let mut findings = Vec::new();
     findings.extend(file.directive_findings.iter().cloned());
     if panic_rule_applies(&file.rel_path) {
-        scan_panic_freedom(file, &mut findings);
+        scan_panic_freedom(file, parsed, &mut findings);
     }
     if units_rule_applies(&file.rel_path) {
         scan_units(file, cfg, &mut findings);
@@ -202,7 +214,7 @@ const NON_INDEX_KEYWORDS: [&str; 18] = [
     "mut", "ref", "move", "const", "static", "as", "dyn",
 ];
 
-fn scan_panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>) {
+fn scan_panic_freedom(file: &SourceFile, parsed: &ParsedFile, findings: &mut Vec<Finding>) {
     let tokens = &file.tokens;
     for (i, token) in tokens.iter().enumerate() {
         if token.is_comment() || file.in_test.get(i).copied().unwrap_or(false) {
@@ -216,7 +228,15 @@ fn scan_panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>) {
                 // named `expect`, so require the opening parenthesis.
                 let called = next_significant(tokens, i + 1)
                     .is_some_and(|(_, n)| n.kind == TokenKind::Punct && n.text == "(");
-                if after_dot && called {
+                // `self.expect(..)` dispatching to a method this file's
+                // impl block defines is an ordinary workspace call, not
+                // the `Option`/`Result` panic adapter.
+                let own_method = called
+                    && receiver_is_self(tokens, i)
+                    && parsed
+                        .enclosing_self_ty(i)
+                        .is_some_and(|ty| parsed.has_method(ty, name));
+                if after_dot && called && !own_method {
                     push_unless_allowed(
                         file,
                         findings,
@@ -262,6 +282,26 @@ fn scan_panic_freedom(file: &SourceFile, findings: &mut Vec<Finding>) {
             _ => {}
         }
     }
+}
+
+/// `true` when the method name at `i` is called on a bare `self`
+/// receiver (`self.name(..)`, not `self.field.name(..)`).
+fn receiver_is_self(tokens: &[Token], i: usize) -> bool {
+    let Some((di, dot)) = prev_significant(tokens, i) else {
+        return false;
+    };
+    if !(dot.kind == TokenKind::Punct && dot.text == ".") {
+        return false;
+    }
+    let Some((ri, recv)) = prev_significant(tokens, di) else {
+        return false;
+    };
+    if !(recv.kind == TokenKind::Ident && recv.text == "self") {
+        return false;
+    }
+    // `a.self` cannot occur, but `x.self_like` idents can't either —
+    // just reject a further `.` so chained receivers don't count.
+    !prev_significant(tokens, ri).is_some_and(|(_, p)| p.kind == TokenKind::Punct && p.text == ".")
 }
 
 /// Decides whether the `[` at `open` begins a non-range index expression;
@@ -722,8 +762,13 @@ mod tests {
     use super::*;
 
     fn check(rel: &str, src: &str) -> Vec<Finding> {
+        check_cfg(rel, src, &RuleConfig::default()).0
+    }
+
+    fn check_cfg(rel: &str, src: &str, cfg: &RuleConfig) -> (Vec<Finding>, ErrorTypeFacts) {
         let file = SourceFile::parse(rel, src);
-        check_file(&file, &RuleConfig::default()).0
+        let parsed = ParsedFile::parse(&file.tokens, &file.in_test);
+        check_file(&file, &parsed, cfg)
     }
 
     const SERVE: &str = "crates/serve/src/demo.rs";
@@ -754,6 +799,27 @@ mod tests {
         ] {
             assert!(check(SERVE, src).is_empty(), "{src}");
         }
+    }
+
+    #[test]
+    fn own_expect_method_on_self_is_not_a_panic_adapter() {
+        // Regression: PR 7 exempted `.expect` *fields* ad hoc; the item
+        // tree now also exempts a workspace method named `expect`/
+        // `unwrap` when `self.expect(..)` dispatches to it.
+        let src = "pub struct Parser;\n\
+             impl Parser {\n\
+                 fn expect(&mut self, k: u8) {}\n\
+                 fn unwrap(&mut self) {}\n\
+                 fn parse(&mut self) { self.expect(1); self.unwrap(); }\n\
+             }\n";
+        assert!(check(SERVE, src).is_empty(), "{:?}", check(SERVE, src));
+        // A field named `expect` (the original case) stays exempt.
+        assert!(check(SERVE, "fn f(s: S) { let e = s.expect; }").is_empty());
+        // `opt.expect(..)` on a foreign receiver still fires.
+        assert_eq!(check(SERVE, "fn f() { opt.expect(\"m\"); }").len(), 1);
+        // `self.expect(..)` with no such method on the impl still fires.
+        let no_method = "pub struct P;\nimpl P { fn parse(&self) { self.expect(\"m\"); } }\n";
+        assert_eq!(check(SERVE, no_method).len(), 1);
     }
 
     #[test]
@@ -800,11 +866,12 @@ mod tests {
             assert!(check(rel, src).is_empty(), "{src}");
         }
         // An allowlist entry silences it.
-        let file = SourceFile::parse(rel, "pub fn power(v: f64) -> f64 { v }");
         let mut cfg = RuleConfig::default();
         cfg.units_allow
             .insert("crates/pv/src/demo.rs::power".to_string());
-        assert!(check_file(&file, &cfg).0.is_empty());
+        assert!(check_cfg(rel, "pub fn power(v: f64) -> f64 { v }", &cfg)
+            .0
+            .is_empty());
     }
 
     #[test]
@@ -844,8 +911,11 @@ mod tests {
         let mut cfg = RuleConfig::default();
         cfg.timing_allow
             .insert("crates/sim/src/demo.rs::var".to_string());
-        let file = SourceFile::parse(rel, "fn f() { let v = std::env::var(\"X\"); }");
-        assert!(check_file(&file, &cfg).0.is_empty());
+        assert!(
+            check_cfg(rel, "fn f() { let v = std::env::var(\"X\"); }", &cfg)
+                .0
+                .is_empty()
+        );
     }
 
     #[test]
@@ -938,8 +1008,7 @@ mod tests {
     #[test]
     fn hygiene_rule_requires_display_and_error_impls() {
         let declared = "pub enum DemoError { Bad }\n";
-        let file = SourceFile::parse("crates/pv/src/error.rs", declared);
-        let (_, facts) = check_file(&file, &RuleConfig::default());
+        let (_, facts) = check_cfg("crates/pv/src/error.rs", declared, &RuleConfig::default());
         let findings = reconcile_error_types(&[("crates/pv/src/error.rs".to_string(), facts)]);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("Display"));
@@ -948,27 +1017,24 @@ mod tests {
         let complete = "pub enum DemoError { Bad }\n\
              impl fmt::Display for DemoError { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }\n\
              impl std::error::Error for DemoError {}\n";
-        let file = SourceFile::parse("crates/pv/src/error.rs", complete);
-        let (_, facts) = check_file(&file, &RuleConfig::default());
+        let (_, facts) = check_cfg("crates/pv/src/error.rs", complete, &RuleConfig::default());
         assert!(reconcile_error_types(&[("crates/pv/src/error.rs".to_string(), facts)]).is_empty());
     }
 
     #[test]
     fn error_impls_are_matched_within_a_crate_across_files() {
-        let decl = SourceFile::parse("crates/pv/src/error.rs", "pub struct PvError;\n");
-        let impls = SourceFile::parse(
-            "crates/pv/src/display.rs",
-            "impl std::fmt::Display for PvError {}\nimpl std::error::Error for PvError {}\n",
-        );
+        let decl_src = "pub struct PvError;\n";
+        let impls_src =
+            "impl std::fmt::Display for PvError {}\nimpl std::error::Error for PvError {}\n";
         let cfg = RuleConfig::default();
         let facts = vec![
             (
                 "crates/pv/src/error.rs".to_string(),
-                check_file(&decl, &cfg).1,
+                check_cfg("crates/pv/src/error.rs", decl_src, &cfg).1,
             ),
             (
                 "crates/pv/src/display.rs".to_string(),
-                check_file(&impls, &cfg).1,
+                check_cfg("crates/pv/src/display.rs", impls_src, &cfg).1,
             ),
         ];
         assert!(reconcile_error_types(&facts).is_empty());
@@ -976,11 +1042,11 @@ mod tests {
         let elsewhere = vec![
             (
                 "crates/pv/src/error.rs".to_string(),
-                check_file(&decl, &cfg).1,
+                check_cfg("crates/pv/src/error.rs", decl_src, &cfg).1,
             ),
             (
                 "crates/cpu/src/display.rs".to_string(),
-                check_file(&impls, &cfg).1,
+                check_cfg("crates/cpu/src/display.rs", impls_src, &cfg).1,
             ),
         ];
         assert_eq!(reconcile_error_types(&elsewhere).len(), 1);

@@ -12,8 +12,17 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::report::Finding;
 
 /// Rule identifiers an allow directive may name.
-pub const RULE_NAMES: [&str; 7] = [
-    "panic", "index", "units", "timing", "clock", "hygiene", "batch",
+pub const RULE_NAMES: [&str; 10] = [
+    "panic",
+    "index",
+    "units",
+    "timing",
+    "clock",
+    "hygiene",
+    "batch",
+    "panic_reach",
+    "lock_order",
+    "taint",
 ];
 
 /// The directive marker looked for inside line comments.

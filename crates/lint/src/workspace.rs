@@ -2,17 +2,23 @@
 //!
 //! The walker visits `crates/*/src` and the root `src/` tree (sorted, so
 //! output order is stable), parses each `.rs` file, runs the per-file
-//! rules, then reconciles the cross-file error-type facts. Allowlists
-//! live in `crates/lint/allow/` and the baseline in
+//! rules **in parallel** (files are independent; results are collected
+//! in walk order and findings sorted, so output stays deterministic),
+//! then reconciles the cross-file error-type facts and runs the three
+//! interprocedural passes ([`crate::passes`]) over the whole item-tree
+//! forest. Allowlists live in `crates/lint/allow/` and the baseline in
 //! `crates/lint/baseline.txt`; all three are plain text with `#`
 //! comments.
 
+use crate::parser::ParsedFile;
+use crate::passes::{self, PassCounts};
 use crate::report::{Baseline, Finding};
-use crate::rules::{self, RuleConfig};
+use crate::rules::{self, ErrorTypeFacts, RuleConfig};
 use crate::source::SourceFile;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::thread;
 
 /// Workspace-relative location of the `units` allowlist.
 pub const UNITS_ALLOWLIST: &str = "crates/lint/allow/units.txt";
@@ -28,6 +34,8 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Interprocedural per-pass finding counts and call-graph size.
+    pub passes: PassCounts,
 }
 
 /// Loads the allowlists under `root` (missing files mean empty lists, so
@@ -73,24 +81,89 @@ pub fn analyze_workspace(root: &Path, cfg: &RuleConfig) -> io::Result<Analysis> 
     collect_rs_files(&root.join("src"), &mut files)?;
     files.sort();
 
+    // Read serially (simple I/O error propagation), analyze in parallel:
+    // lexing, item-tree parsing, and the per-file rules are independent
+    // per file. Contiguous chunks joined in spawn order keep the results
+    // in walk order, and the final sort makes output order deterministic
+    // regardless of scheduling.
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for path in &files {
+        inputs.push((relative_path(root, path), fs::read_to_string(path)?));
+    }
+    let per_file = analyze_files(&inputs, cfg);
+
     let mut findings = Vec::new();
     let mut facts = Vec::new();
-    for path in &files {
-        let rel = relative_path(root, path);
-        let text = fs::read_to_string(path)?;
-        let file = SourceFile::parse(&rel, &text);
-        let (mut file_findings, file_facts) = rules::check_file(&file, cfg);
-        findings.append(&mut file_findings);
-        facts.push((rel, file_facts));
+    let mut sources: Vec<SourceFile> = Vec::with_capacity(per_file.len());
+    let mut parsed: Vec<ParsedFile> = Vec::with_capacity(per_file.len());
+    for unit in per_file {
+        findings.extend(unit.findings);
+        facts.push((unit.file.rel_path.clone(), unit.facts));
+        sources.push(unit.file);
+        parsed.push(unit.parsed);
     }
     findings.extend(rules::reconcile_error_types(&facts));
+    let pass = passes::run(&sources, &parsed);
+    findings.extend(pass.findings);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });
     Ok(Analysis {
         findings,
         files_scanned: files.len(),
+        passes: pass.counts,
     })
+}
+
+/// One file's parse + per-file rule output.
+struct FileUnit {
+    file: SourceFile,
+    parsed: ParsedFile,
+    findings: Vec<Finding>,
+    facts: ErrorTypeFacts,
+}
+
+fn analyze_one(rel: &str, text: &str, cfg: &RuleConfig) -> FileUnit {
+    let file = SourceFile::parse(rel, text);
+    let parsed = ParsedFile::parse(&file.tokens, &file.in_test);
+    let (findings, facts) = rules::check_file(&file, &parsed, cfg);
+    FileUnit {
+        file,
+        parsed,
+        findings,
+        facts,
+    }
+}
+
+/// Fans the per-file analysis out over scoped threads; results come
+/// back in input order (chunks are contiguous and joined in order).
+fn analyze_files(inputs: &[(String, String)], cfg: &RuleConfig) -> Vec<FileUnit> {
+    let workers = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let chunk_len = inputs.len().div_ceil(workers).max(1);
+    let mut units: Vec<FileUnit> = Vec::with_capacity(inputs.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(rel, text)| analyze_one(rel, text, cfg))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // The analyzers are panic-free by construction (the gate
+            // checks this crate too); a poisoned worker drops only its
+            // own chunk rather than the whole run.
+            units.extend(handle.join().unwrap_or_default());
+        }
+    });
+    units
 }
 
 /// Recursively collects `.rs` files below `dir` (silently absent dirs are

@@ -1,0 +1,84 @@
+//! Parser golden fixture. Not compiled into any crate — lexed and
+//! parsed by `tests/parser_golden.rs`, whose golden snapshot pins the
+//! item tree. Exercises the constructs the recursive-descent parser
+//! must not trip over: raw strings (with braces and quote markers
+//! inside), nested generics and turbofish, `impl Trait`, items nested
+//! inside function bodies, macro definitions and invocations, inline
+//! module chains, trait default methods, and `cfg(test)` regions.
+
+use std::collections::HashMap;
+
+pub struct Grid {
+    pub cells: Vec<Vec<f64>>,
+    pub index: HashMap<String, usize>,
+}
+
+impl Grid {
+    pub fn build(n: usize) -> Grid {
+        let cells = Vec::<Vec<f64>>::with_capacity(n);
+        let raw = r#"quotes " and { braces } inside"#;
+        let raw2 = r##"a nested "# marker"##;
+        println!("{} {}", raw, raw2.len());
+        Grid {
+            cells,
+            index: HashMap::new(),
+        }
+    }
+
+    pub fn lookup(&self, key: &str) -> Option<&usize> {
+        self.index.get(key)
+    }
+
+    pub fn doubled_lookup(&self, key: &str) -> Option<usize> {
+        self.lookup(key).map(|&i| i * 2)
+    }
+}
+
+pub trait Source {
+    fn emit(&self) -> f64;
+
+    fn doubled(&self) -> f64 {
+        self.emit() * 2.0
+    }
+}
+
+pub fn make_source(level: f64) -> impl Source {
+    struct Fixed(f64);
+    impl Source for Fixed {
+        fn emit(&self) -> f64 {
+            self.0
+        }
+    }
+    Fixed(level)
+}
+
+pub mod inner {
+    pub fn helper<T: Clone + Into<Vec<u8>>>(x: T) -> Vec<u8> {
+        x.clone().into()
+    }
+
+    pub mod deeper {
+        pub fn bottom() -> &'static str {
+            concat!("a", "b")
+        }
+    }
+}
+
+macro_rules! shout {
+    ($x:expr) => {
+        format!("{}!", $x)
+    };
+}
+
+pub fn shouted() -> String {
+    shout!("hey")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn grid_builds() {
+        let g = super::Grid::build(3);
+        assert!(g.cells.is_empty());
+    }
+}

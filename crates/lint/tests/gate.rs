@@ -78,7 +78,8 @@ fn json_output_round_trips_through_the_serve_parser() {
     let mut findings = Vec::new();
     for (rel, src) in seeded {
         let file = SourceFile::parse(rel, src);
-        findings.extend(hems_lint::rules::check_file(&file, &cfg).0);
+        let parsed = hems_lint::parser::ParsedFile::parse(&file.tokens, &file.in_test);
+        findings.extend(hems_lint::rules::check_file(&file, &parsed, &cfg).0);
     }
     // One panic, one index, one units, one timing, two hygiene.
     let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();

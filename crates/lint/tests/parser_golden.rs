@@ -1,0 +1,138 @@
+//! Golden-file test for the recursive-descent parser: the item tree
+//! extracted from `fixtures/parser_fixture.rs` must match the pinned
+//! snapshot line for line. Any intentional parser change regenerates
+//! the snapshot by copying the printed actual into
+//! `golden/parser_fixture.txt`.
+
+use hems_lint::parser::{CallKind, ParsedFile};
+use hems_lint::SourceFile;
+use std::fmt::Write as _;
+
+const FIXTURE: &str = include_str!("fixtures/parser_fixture.rs");
+const GOLDEN: &str = include_str!("golden/parser_fixture.txt");
+
+/// A stable, human-diffable rendering of the parsed item tree.
+fn dump(parsed: &ParsedFile) -> String {
+    let mut out = String::new();
+    for f in &parsed.fns {
+        let mut tags = String::new();
+        if f.is_test {
+            tags.push_str(" [test]");
+        }
+        if f.body.is_none() {
+            tags.push_str(" [no-body]");
+        }
+        let _ = writeln!(out, "fn {} @{}{}", f.qualified(), f.line, tags);
+        for c in &f.calls {
+            let path = if c.path.is_empty() {
+                String::new()
+            } else {
+                format!("{}::", c.path.join("::"))
+            };
+            let recv = match (c.kind, c.receiver_is_self, c.receiver_ident.as_deref()) {
+                (CallKind::Free, ..) => String::new(),
+                (CallKind::Method, true, _) => " recv=self".to_string(),
+                (CallKind::Method, false, Some(r)) => format!(" recv={r}"),
+                (CallKind::Method, false, None) => " recv=<chain>".to_string(),
+            };
+            let kind = match c.kind {
+                CallKind::Free => "free",
+                CallKind::Method => "method",
+            };
+            let _ = writeln!(out, "  call {path}{} kind={kind}{recv} @{}", c.name, c.line);
+        }
+    }
+    for field in &parsed.struct_fields {
+        let _ = writeln!(
+            out,
+            "field {}.{}: {}",
+            field.owner,
+            field.name,
+            field.type_idents.join(" ")
+        );
+    }
+    out
+}
+
+#[test]
+fn parser_item_tree_matches_golden_snapshot() {
+    let file = SourceFile::parse("crates/pv/src/fixture.rs", FIXTURE);
+    let parsed = ParsedFile::parse(&file.tokens, &file.in_test);
+    let actual = dump(&parsed);
+    assert_eq!(
+        actual.trim_end(),
+        GOLDEN.trim_end(),
+        "\n--- actual (copy into tests/golden/parser_fixture.txt) ---\n{actual}"
+    );
+}
+
+/// The structural claims behind the snapshot, asserted directly so a
+/// regenerated golden can't silently pin a regression.
+#[test]
+fn parser_fixture_structural_invariants() {
+    let file = SourceFile::parse("crates/pv/src/fixture.rs", FIXTURE);
+    let parsed = ParsedFile::parse(&file.tokens, &file.in_test);
+
+    // Raw strings with braces inside must not desync brace tracking:
+    // `build` still sees its turbofish call and struct-literal close.
+    let build = parsed
+        .fns
+        .iter()
+        .find(|f| f.qualified() == "Grid::build")
+        .expect("Grid::build parsed");
+    assert!(
+        build.calls.iter().any(|c| c.name == "with_capacity"),
+        "turbofish call lost: {:?}",
+        build.calls.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+
+    // Methods resolve to their impl type; the trait default method to
+    // its trait; module chains to their inline path. (Items nested
+    // inside fn bodies — `Fixed::emit` in `make_source` — deliberately
+    // stay part of the enclosing body's call list, pinned by the
+    // golden snapshot.)
+    for qualified in [
+        "Grid::lookup",
+        "Grid::doubled_lookup",
+        "Source::doubled",
+        "make_source",
+        "inner::helper",
+        "inner::deeper::bottom",
+        "shouted",
+    ] {
+        assert!(
+            parsed.fns.iter().any(|f| f.qualified() == qualified),
+            "missing {qualified}"
+        );
+    }
+
+    // The bodiless trait declaration is kept but marked as such.
+    let emit_decl = parsed
+        .fns
+        .iter()
+        .find(|f| f.qualified() == "Source::emit")
+        .expect("trait declaration kept");
+    assert!(emit_decl.body.is_none());
+
+    // `self.lookup(..)` inside `doubled_lookup` is a self-method call.
+    let doubled = parsed
+        .fns
+        .iter()
+        .find(|f| f.qualified() == "Grid::doubled_lookup")
+        .expect("doubled_lookup parsed");
+    assert!(doubled
+        .calls
+        .iter()
+        .any(|c| c.name == "lookup" && c.receiver_is_self));
+
+    // cfg(test) items are marked and the hash-typed field is recorded.
+    let test_fn = parsed
+        .fns
+        .iter()
+        .find(|f| f.name == "grid_builds")
+        .expect("test fn parsed");
+    assert!(test_fn.is_test);
+    assert!(parsed.struct_fields.iter().any(|f| f.owner == "Grid"
+        && f.name == "index"
+        && f.type_idents.iter().any(|t| t == "HashMap")));
+}

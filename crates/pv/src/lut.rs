@@ -99,10 +99,8 @@ impl PvLut {
             .map(|&v| cell.current_at(Volts::new(v)).amps())
             .collect();
         let watts: Vec<f64> = xs.iter().zip(&amps).map(|(&v, &i)| v * i).collect();
-        let current = MonotoneTable::new(xs.clone(), amps)
-            .expect("positive Voc yields a valid sampling window");
-        let power =
-            MonotoneTable::new(xs, watts).expect("positive Voc yields a valid sampling window");
+        let current = MonotoneTable::new(xs.clone(), amps)?;
+        let power = MonotoneTable::new(xs, watts)?;
         // The MPP is a single point computed once per build, so tabulating
         // it buys nothing: cache the *exact* model's answer. Solvers hang
         // the regulator input voltage and power budget off this point, and

@@ -88,6 +88,7 @@ impl BuckRegulator {
             Volts::new(0.3),
             Volts::new(0.8),
         )
+        // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's unit tests")
         .expect("reference parameters are valid")
     }
 

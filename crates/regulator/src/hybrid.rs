@@ -58,11 +58,7 @@ impl HybridRegulator {
         self.candidates
             .iter()
             .filter_map(|r| r.convert(v_in, v_out, p_out).ok().map(|c| (r, c)))
-            .min_by(|a, b| {
-                a.1.p_in
-                    .partial_cmp(&b.1.p_in)
-                    .expect("finite input powers")
-            })
+            .min_by(|a, b| a.1.p_in.watts().total_cmp(&b.1.p_in.watts()))
     }
 }
 

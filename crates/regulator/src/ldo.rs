@@ -53,6 +53,7 @@ impl Ldo {
     /// The paper's 65 nm LDO: 50 mV dropout, 20 µA quiescent current.
     pub fn paper_65nm() -> Ldo {
         Ldo::new(Volts::from_milli(50.0), Amps::from_micro(20.0))
+            // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's unit tests")
             .expect("reference parameters are valid")
     }
 

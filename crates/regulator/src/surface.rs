@@ -194,9 +194,9 @@ impl EfficiencyGrid {
                             .map(|c| c.efficiency.ratio())
                     })
                     .collect();
-                let interp = if etas.iter().all(|e| e.is_some()) {
+                let ys: Vec<f64> = etas.iter().flatten().copied().collect();
+                let interp = if ys.len() == etas.len() {
                     let ln_ps: Vec<f64> = p_outs.iter().map(|p| p.ln()).collect();
-                    let ys: Vec<f64> = etas.iter().map(|e| e.expect("checked")).collect();
                     MonotoneTable::new(ln_ps, ys).ok()
                 } else {
                     None
@@ -270,9 +270,9 @@ impl EfficiencyGrid {
                     .min_by(|&a, &b| {
                         let da = (self.p_outs[a].ln() - ln_p).abs();
                         let db = (self.p_outs[b].ln() - ln_p).abs();
-                        da.partial_cmp(&db).expect("finite lattice")
+                        da.total_cmp(&db)
                     })
-                    .expect("lattice is non-empty");
+                    .unwrap_or(0);
                 col.etas[j]
             }
         }

@@ -194,13 +194,13 @@ impl LightProfile {
                 } else {
                     let frac = (t - *start) / (*end - *start);
                     Irradiance::new(from.fraction() + (to.fraction() - from.fraction()) * frac)
-                        .expect("interpolation of valid levels stays valid")
+                        .unwrap_or(*to)
                 }
             }
             LightProfile::Diurnal { peak, day_length } => {
                 let phase = (t / *day_length).clamp(0.0, 1.0);
                 let level = peak.fraction() * (std::f64::consts::PI * phase).sin().max(0.0);
-                Irradiance::new(level).expect("sine of valid peak stays valid")
+                Irradiance::new(level).unwrap_or(*peak)
             }
             LightProfile::Clouds {
                 period, samples, ..
@@ -210,7 +210,7 @@ impl LightProfile {
                 let j = (i + 1) % samples.len();
                 let frac = pos - pos.floor();
                 let level = samples[i] + (samples[j] - samples[i]) * frac;
-                Irradiance::new(level.clamp(0.0, 2.0)).expect("clamped level is valid")
+                Irradiance::new(level.clamp(0.0, 2.0)).unwrap_or(Irradiance::DARK)
             }
             LightProfile::Outages { base, windows } => {
                 if windows.iter().any(|(start, end)| t >= *start && t < *end) {

@@ -772,6 +772,7 @@ pub fn resolved_threads(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
         return n.max(1);
     }
+    // hems-lint: allow(taint, reason = "worker-thread count cannot alter report bytes: the serial/parallel sweep parity contract is differential-tested")
     if let Some(n) = std::env::var(THREADS_ENV)
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())

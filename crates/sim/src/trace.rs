@@ -80,10 +80,9 @@ impl WaveformRecorder {
     /// The recorded sample nearest to time `t`, if any were recorded.
     pub fn nearest(&self, t: Seconds) -> Option<&Sample> {
         self.samples.iter().min_by(|a, b| {
-            (a.t - t)
-                .abs()
-                .partial_cmp(&(b.t - t).abs())
-                .expect("finite times")
+            let da = (a.t - t).abs().seconds();
+            let db = (b.t - t).abs().seconds();
+            da.total_cmp(&db)
         })
     }
 

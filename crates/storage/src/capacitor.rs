@@ -87,6 +87,7 @@ impl Capacitor {
     /// threshold crossings.
     pub fn paper_board() -> Capacitor {
         Capacitor::new(Farads::from_micro(100.0), Volts::new(1.6))
+            // hems-lint: allow(panic_reach, reason = "compile-time reference constants; validated by this module's unit tests")
             .expect("reference parameters are valid")
     }
 

@@ -27,11 +27,31 @@ echo "== lint: hems-lint =="
 # in the solvers, crate hygiene. It scans its own source too. Exits
 # nonzero on any non-baselined finding.
 cargo run --release -q -p hems-lint
-# The --json mode must stay machine-readable: the summary line is valid
-# JSON (round-trip tested against the serve crate's parser in the test
-# suite; this is the cheap end-to-end smoke of the same path).
-cargo run --release -q -p hems-lint -- --json | tail -1 | grep -q '"summary":true' \
-    || { echo "verify: hems-lint --json summary line missing" >&2; exit 1; }
+# The --json mode must stay machine-readable, and the summary must prove
+# the three interprocedural passes (DESIGN.md §15) actually ran: a
+# non-trivial call graph was built and a per-pass count is present for
+# each of panic_reach / lock_order / taint. A refactor that silently
+# drops a pass fails here, not in production.
+lint_summary="$(cargo run --release -q -p hems-lint -- --json | tail -1)"
+LINT_SUMMARY="$lint_summary" python3 - <<'PYEOF'
+import json, os
+summary = json.loads(os.environ["LINT_SUMMARY"])
+assert summary.get("summary") is True, f"not a summary line: {summary}"
+assert summary["functions"] > 500, f"call graph too small: {summary['functions']} fns"
+assert summary["edges"] > 1000, f"call graph too small: {summary['edges']} edges"
+passes = summary["passes"]
+for name in ("panic_reach", "lock_order", "taint"):
+    assert name in passes, f"pass {name} missing from summary"
+print(f"verify: hems-lint ran all 3 passes over "
+      f"{summary['functions']} fns / {summary['edges']} edges "
+      f"in {summary['wall_ms']} ms")
+PYEOF
+# JSON-lines smoke: findings and the summary line must round-trip
+# through hems_serve's own JSON parser (the gate's output is consumed
+# by the serve-side tooling; the full round-trip lives in
+# crates/lint/tests/gate.rs — this runs it end-to-end).
+cargo test --release -q -p hems-lint --test gate json_output_round_trips > /dev/null \
+    || { echo "verify: hems-lint JSON round-trip through hems_serve failed" >&2; exit 1; }
 
 echo "== chaos: seeded campaign (writes BENCH_chaos.json) =="
 # Fixed-seed smoke campaign (DESIGN.md §11): brownouts at checkpoint
