@@ -1,0 +1,89 @@
+//! The committed seed corpus: interesting case seeds (dark-cell
+//! fallbacks, outage-boundary profiles, heavily mutated NDJSON frames)
+//! kept under `crates/conformance/corpus/` and replayed through the
+//! oracles on every run.
+//!
+//! Format: one entry per line in a `*.seeds` file —
+//! `oracle:0xSEED` pins the entry to one oracle, `*:0xSEED` replays it
+//! through all of them. `#` starts a comment; blank lines are skipped.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::ConformanceError;
+use crate::oracles::OracleKind;
+
+/// One corpus entry: a case seed, optionally pinned to a single oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The source line, for error messages.
+    pub raw: String,
+    /// `None` means "replay through every oracle".
+    pub oracle: Option<OracleKind>,
+    /// The case seed.
+    pub seed: u64,
+}
+
+impl CorpusEntry {
+    /// Parses one non-comment corpus line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConformanceError`] naming the malformed field.
+    pub fn parse(line: &str) -> Result<CorpusEntry, ConformanceError> {
+        let bad = |what: &str| ConformanceError::new("corpus parse", format!("{what}: {line:?}"));
+        let mut parts = line.trim().splitn(2, ':');
+        let oracle_text = parts.next().ok_or_else(|| bad("empty line"))?;
+        let oracle = if oracle_text == "*" {
+            None
+        } else {
+            Some(OracleKind::from_name(oracle_text).ok_or_else(|| bad("unknown oracle"))?)
+        };
+        let seed_text = parts.next().ok_or_else(|| bad("missing seed"))?;
+        let digits = seed_text
+            .strip_prefix("0x")
+            .ok_or_else(|| bad("seed must be 0x-prefixed hex"))?;
+        let seed = u64::from_str_radix(digits, 16).map_err(|_| bad("seed is not valid hex"))?;
+        Ok(CorpusEntry {
+            raw: line.trim().to_string(),
+            oracle,
+            seed,
+        })
+    }
+}
+
+/// The corpus directory committed with this crate.
+pub fn default_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+/// Loads every `*.seeds` file in `dir`, in sorted filename order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and line parse failures (with the file
+/// name in the context).
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, ConformanceError> {
+    let ctx = |e: String| ConformanceError::new("corpus load", e);
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| ctx(format!("read {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "seeds"))
+        .collect();
+    files.sort();
+    let mut entries = Vec::new();
+    for file in files {
+        let text =
+            fs::read_to_string(&file).map_err(|e| ctx(format!("read {}: {e}", file.display())))?;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            entries.push(CorpusEntry::parse(trimmed).map_err(|e| {
+                ConformanceError::new("corpus load", format!("{}: {e}", file.display()))
+            })?);
+        }
+    }
+    Ok(entries)
+}

@@ -1,0 +1,35 @@
+//! The crate's error type.
+
+use std::fmt;
+
+/// Anything that keeps the conformance plane from running: fixture I/O,
+/// un-parseable repro lines, a loopback server that will not start.
+///
+/// A *divergence* (two paths disagreeing) is deliberately **not** a
+/// `ConformanceError` — divergences are data, carried by
+/// [`crate::oracles::Divergence`] so the shrinker can work on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceError {
+    /// What was being attempted.
+    pub context: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ConformanceError {
+    /// Builds an error from a context and a message.
+    pub fn new(context: impl Into<String>, message: impl Into<String>) -> ConformanceError {
+        ConformanceError {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for ConformanceError {}

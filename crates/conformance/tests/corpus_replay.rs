@@ -1,0 +1,44 @@
+//! Replays every committed corpus seed through its oracle(s): the
+//! interesting cases (dark-cell fallbacks, outage-boundary profiles,
+//! shredded NDJSON frames) must stay divergence-free forever.
+
+use hems_conformance::{corpus, oracles, CaseInput, OracleCtx, OracleKind};
+
+#[test]
+fn corpus_seeds_replay_clean_through_all_oracles() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus must parse");
+    assert!(
+        entries.len() >= 10,
+        "corpus too small: {} entries",
+        entries.len()
+    );
+    let mut ctx = OracleCtx::new();
+    let mut dark = 0usize;
+    let mut outage = 0usize;
+    for entry in &entries {
+        let input = CaseInput::generate(entry.seed);
+        if input.has_dark_spec() {
+            dark += 1;
+        }
+        if !input.outages.is_empty() {
+            outage += 1;
+        }
+        let kinds: Vec<OracleKind> = match entry.oracle {
+            Some(kind) => vec![kind],
+            None => OracleKind::all().to_vec(),
+        };
+        for kind in kinds {
+            let divergence = oracles::run(kind, &input, &mut ctx)
+                .unwrap_or_else(|e| panic!("harness failure on '{}' / {kind}: {e}", entry.raw));
+            assert!(
+                divergence.is_none(),
+                "corpus entry '{}' diverges on {kind}: {}",
+                entry.raw,
+                divergence.map(|d| d.detail).unwrap_or_default()
+            );
+        }
+    }
+    // The corpus must actually cover the regimes it claims to.
+    assert!(dark >= 3, "only {dark} dark-cell corpus seeds");
+    assert!(outage >= 3, "only {outage} outage-bearing corpus seeds");
+}

@@ -1,0 +1,20 @@
+//! The conformance gate as a tier-1 test: recomputed fixtures must be
+//! bit-for-bit identical to the committed goldens. Intentional changes
+//! are re-captured with `hems-conformance --bless`.
+
+use hems_conformance::fixtures;
+
+#[test]
+fn committed_goldens_are_bit_for_bit_current() {
+    let dir = fixtures::default_dir();
+    let (count, reports) = fixtures::check_dir(&dir).expect("capture must succeed");
+    assert!(
+        count >= 10,
+        "conformance gate needs >= 10 fixtures, found {count}"
+    );
+    assert!(
+        reports.is_empty(),
+        "goldens diverge — run `hems-conformance --bless` if intentional:\n{}",
+        reports.join("\n")
+    );
+}

@@ -63,6 +63,9 @@ pub fn panic_rule_applies(rel: &str) -> bool {
         || rel.starts_with("crates/chaos/src/")
         || rel.starts_with("crates/obs/src/")
         || rel.starts_with("crates/fleet/src/")
+        // The conformance gate: a panicking oracle or shrinker reads as
+        // a divergence in CI, so it is held to the same bar it enforces.
+        || rel.starts_with("crates/conformance/src/")
         || matches!(
             rel,
             "crates/sim/src/pool.rs" | "crates/sim/src/sweep.rs" | "crates/sim/src/engine.rs"
@@ -90,6 +93,11 @@ pub fn timing_rule_applies(rel: &str) -> bool {
         // wall clock or the environment either (its one legitimate env
         // read, root discovery in `main.rs`, is allowlisted).
         || rel.starts_with("crates/lint/src/")
+        // The conformance plane is fully deterministic: every case is a
+        // pure function of its seed, and the only clock is the obs
+        // crate's monotonic counter (throughput reporting in `main.rs`,
+        // never test semantics).
+        || rel.starts_with("crates/conformance/src/")
 }
 
 /// Every scanned path except the one module allowed to read the wall

@@ -68,6 +68,36 @@ echo "== fleet: smoke (writes BENCH_fleet.json) =="
 # the report lines are byte-for-byte reproducible per seed.
 cargo run --release -q -p hems-fleet -- --smoke --out BENCH_fleet.json > /dev/null
 
+echo "== conformance: goldens + fuzz (writes BENCH_conformance.json) =="
+# The conformance gate (DESIGN.md §16): committed golden fixtures must
+# be bit-for-bit identical to recomputed solver outputs (intentional
+# changes are re-captured with --bless), the committed corpus of
+# interesting seeds must replay clean, the seeded differential fuzz
+# plane must find no divergence between any fast path and its
+# reference, and the shrinker must still minimize a planted divergence
+# to a one-line repro. All timing goes through hems_obs::clock.
+cargo run --release -q -p hems-conformance -- --check
+cargo run --release -q -p hems-conformance -- --corpus
+cargo run --release -q -p hems-conformance -- --self-test
+cargo run --release -q -p hems-conformance -- --fuzz --seed 7 --cases 500 \
+    --budget-ms 120000 --out BENCH_conformance.json
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_conformance.json"))
+assert report["fixtures"] >= 10, f"only {report['fixtures']} golden fixtures"
+oracles = report["oracles"]
+assert len(oracles) >= 6, f"only {len(oracles)} oracles ran"
+for oracle in oracles:
+    name, cases = oracle["name"], oracle["cases"]
+    assert cases >= 500, f"oracle {name} ran only {cases} cases"
+    assert oracle["divergences"] == 0, f"oracle {name} diverged"
+total = sum(o["cases"] for o in oracles)
+rate = total / (report["total_wall_ms"] / 1e3)
+print(f"verify: {report['fixtures']} fixtures bit-for-bit, "
+      f"{len(oracles)} oracles x {oracles[0]['cases']} cases, "
+      f"{rate:.0f} cases/sec overall")
+EOF
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 # The adaptive serial cutover guarantees the parallel engine entry never
@@ -101,7 +131,7 @@ cargo run --release -q --example metrics_query > /dev/null
 
 # The serve and obs benches self-validate their reports before exiting;
 # double-check the files landed where the docs say.
-for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json BENCH_fleet.json; do
+for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json BENCH_fleet.json BENCH_conformance.json; do
     [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
 done
 

@@ -1,131 +1,54 @@
-// Entire suite gated: requires the `proptest` feature plus re-adding the
-// proptest dev-dependency (removed for offline resolution).
-#![cfg(feature = "proptest")]
+//! Property-style fuzzing of the full system, folded into the
+//! conformance plane: arbitrary (even adversarial) scripted controllers
+//! and light conditions must never break the physics, and every fast
+//! path must agree with its reference implementation.
+//!
+//! This is a thin wrapper over `hems_conformance` — the seeded
+//! generators, oracles, and the shrinker live there, and the
+//! `hems-conformance` binary runs the same oracles at fuzz scale in
+//! `scripts/verify.sh`. Here a small fixed budget keeps the properties
+//! inside plain `cargo test -q`. A failure names the case seed; replay
+//! and minimize it with `hems-conformance --replay <oracle>:0x<seed>:-`.
 
-//! Property-based fuzzing of the full system: arbitrary (even adversarial)
-//! controllers and light conditions must never break the physics.
+use hems_conformance::{oracles, CaseInput, OracleCtx, OracleKind};
 
-use hems_repro::pv::Irradiance;
-use hems_repro::sim::{
-    ControlDecision, Controller, LightProfile, PowerPath, Simulation, SystemConfig, SystemView,
-};
-use hems_repro::units::{Seconds, Volts};
-use proptest::prelude::*;
+/// Seeds for this suite come from one fixed campaign seed, decorrelated
+/// per oracle exactly like the binary's `--fuzz` mode.
+const CAMPAIGN_SEED: u64 = 0x70_4E;
 
-/// Replays a scripted decision sequence, cycling when it runs out.
-struct ScriptedController {
-    script: Vec<ControlDecision>,
-    at: usize,
-}
-
-impl Controller for ScriptedController {
-    fn decide(&mut self, _view: &SystemView<'_>) -> ControlDecision {
-        let d = self.script[self.at % self.script.len()];
-        self.at += 1;
-        d
-    }
-}
-
-fn decision_strategy() -> impl Strategy<Value = ControlDecision> {
-    (0u8..3, 0.01f64..1.6, 0.05f64..=1.0).prop_map(|(kind, vdd, frac)| {
-        let path = match kind {
-            0 => PowerPath::Regulated {
-                vdd: Volts::new(vdd),
-            },
-            1 => PowerPath::Bypass,
-            _ => PowerPath::Sleep,
-        };
-        ControlDecision {
-            path,
-            clock_fraction: frac,
-        }
-    })
-}
-
-fn light_strategy() -> impl Strategy<Value = LightProfile> {
-    prop_oneof![
-        (0.0f64..=1.0).prop_map(|g| LightProfile::constant(Irradiance::new(g).unwrap())),
-        (0.0f64..=1.0, 0.0f64..=1.0, 1.0f64..200.0).prop_map(|(a, b, at)| {
-            LightProfile::step(
-                Irradiance::new(a).unwrap(),
-                Irradiance::new(b).unwrap(),
-                Seconds::from_milli(at),
-            )
-        }),
-        any::<u64>().prop_map(|seed| {
-            LightProfile::clouds(
-                Irradiance::DARK,
-                Irradiance::FULL_SUN,
-                Seconds::from_milli(37.0),
-                Seconds::new(1.0),
-                seed,
-            )
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn arbitrary_controllers_never_break_the_physics(
-        script in proptest::collection::vec(decision_strategy(), 1..12),
-        light in light_strategy(),
-        v0 in 0.0f64..=1.5,
-    ) {
-        let config = SystemConfig::paper_sc_system().unwrap();
-        let rating = config.capacitor.v_rating();
-        let capacitance = config.capacitor.capacitance();
-        let mut sim = Simulation::new(config, light, Volts::new(v0)).unwrap();
-        let mut ctl = ScriptedController { script, at: 0 };
-        let summary = sim.run(&mut ctl, Seconds::from_milli(250.0));
-
-        // Node voltage stays physical.
-        prop_assert!(summary.final_v_solar >= Volts::ZERO);
-        prop_assert!(summary.final_v_solar <= rating);
-
-        // Ledger categories are non-negative and times add up.
-        let l = &summary.ledger;
-        prop_assert!(l.harvested.joules() >= 0.0);
-        prop_assert!(l.delivered_to_cpu.joules() >= 0.0);
-        prop_assert!(l.regulator_loss.joules() >= 0.0);
-        prop_assert!(l.standby_loss.joules() >= 0.0);
-        let time_sum = l.active_time + l.sleep_time + l.brownout_time;
-        prop_assert!((time_sum - l.total_time).abs() < Seconds::from_micro(100.0));
-
-        // Energy conservation within integration error.
-        let e0 = capacitance.stored_energy(Volts::new(v0));
-        let e1 = capacitance.stored_energy(summary.final_v_solar);
-        let lhs = l.harvested + (e0 - e1);
-        let rhs = l.delivered_to_cpu + l.regulator_loss + l.standby_loss;
-        let scale = rhs.joules().abs().max(e0.joules()).max(1e-9);
-        prop_assert!(
-            (lhs - rhs).abs().joules() / scale < 0.03,
-            "imbalance: lhs {} vs rhs {}", lhs.joules(), rhs.joules()
+fn run_cases(kind: OracleKind, cases: usize, ctx: &mut OracleCtx) {
+    let mut rng = hems_units::XorShiftRng::seed_from_u64(CAMPAIGN_SEED ^ kind.name().len() as u64);
+    for _ in 0..cases {
+        let seed = rng.next_u64();
+        let input = CaseInput::generate(seed);
+        let divergence = oracles::run(kind, &input, ctx)
+            .unwrap_or_else(|e| panic!("harness failure on {kind} seed 0x{seed:016x}: {e}"));
+        assert!(
+            divergence.is_none(),
+            "{kind} diverged on seed 0x{seed:016x} ({}); replay with \
+`hems-conformance --replay {}:0x{seed:016x}:-`",
+            divergence.map(|d| d.detail).unwrap_or_default(),
+            kind.name(),
         );
-
-        // The CPU can never consume more than arrived.
-        prop_assert!(l.delivered_to_cpu <= l.harvested + e0);
     }
+}
 
-    #[test]
-    fn runs_are_reproducible_for_any_script(
-        script in proptest::collection::vec(decision_strategy(), 1..6),
-        seed in any::<u64>(),
-    ) {
-        let go = || {
-            let config = SystemConfig::paper_sc_system().unwrap();
-            let light = LightProfile::clouds(
-                Irradiance::QUARTER_SUN,
-                Irradiance::FULL_SUN,
-                Seconds::from_milli(20.0),
-                Seconds::from_milli(200.0),
-                seed,
-            );
-            let mut sim = Simulation::new(config, light, Volts::new(1.0)).unwrap();
-            let mut ctl = ScriptedController { script: script.clone(), at: 0 };
-            sim.run(&mut ctl, Seconds::from_milli(200.0))
-        };
-        prop_assert_eq!(go(), go());
+#[test]
+fn arbitrary_controllers_never_break_the_physics() {
+    // The physics oracle carries the original property suite's
+    // invariants: voltage stays physical, the energy ledger balances,
+    // delivered work never exceeds what arrived, and identical runs
+    // are bitwise reproducible.
+    let mut ctx = OracleCtx::new();
+    run_cases(OracleKind::Physics, 24, &mut ctx);
+}
+
+#[test]
+fn every_fast_path_agrees_with_its_reference() {
+    // A small slice of the full differential plane per oracle; the
+    // verify.sh fuzz stage runs the same oracles at 500 cases each.
+    let mut ctx = OracleCtx::new();
+    for kind in OracleKind::all() {
+        run_cases(kind, 4, &mut ctx);
     }
 }
