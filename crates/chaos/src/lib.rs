@@ -2,7 +2,7 @@
 //!
 //! The paper's premise is surviving hostile conditions: a battery-less
 //! node browns out mid-computation and must resume correctly. This crate
-//! *proves* the repo does, by injecting faults into its four planes and
+//! *proves* the repo does, by injecting faults into its five planes and
 //! asserting recovery:
 //!
 //! * **power** ([`power`]) — scheduled irradiance collapses drive the sim
@@ -19,6 +19,11 @@
 //!   [`hems_serve::Client`] must still get every healthy request
 //!   answered and the server must finish with zero panics on its own
 //!   threads;
+//! * **router** ([`router`]) — seeded backend crashes/restarts and
+//!   slow-backend (delaying proxy) episodes against a live 3-shard
+//!   `hems-router` tier under retrying-client load: every replayed plan
+//!   must answer byte-identically to its warm pre-fault result, and
+//!   crashed shards must rejoin healthy after hot repointing;
 //! * **fleet** ([`fleet`]) — regional brownout storms swept across an
 //!   [`hems_fleet::Fleet`] digital twin: correlated harvest collapses
 //!   kill whole neighbourhoods of nodes at once, and every storm must
@@ -45,6 +50,7 @@ pub mod net;
 pub mod plan;
 pub mod power;
 pub mod report;
+pub mod router;
 
 pub use error::ChaosError;
 pub use plan::{CampaignConfig, FaultPlan};

@@ -75,7 +75,7 @@ pub fn install_panic_probe() {
 
 /// What the proxy does to one connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ConnFault {
+pub(crate) enum ConnFault {
     /// Relay this many request/response frames, then hang up cleanly.
     PassThen(u32),
     /// Forward only a prefix of the first request line, then close both
@@ -181,7 +181,7 @@ fn relay(client: TcpStream, upstream_addr: SocketAddr, fault: ConnFault, stop: A
 }
 
 /// A TCP proxy that injects one scripted fault per connection.
-struct ChaosProxy {
+pub(crate) struct ChaosProxy {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<thread::JoinHandle<()>>,
@@ -189,7 +189,10 @@ struct ChaosProxy {
 }
 
 impl ChaosProxy {
-    fn start(upstream: SocketAddr, script: Vec<ConnFault>) -> Result<ChaosProxy, ChaosError> {
+    pub(crate) fn start(
+        upstream: SocketAddr,
+        script: Vec<ConnFault>,
+    ) -> Result<ChaosProxy, ChaosError> {
         let listener = TcpListener::bind("127.0.0.1:0")
             .map_err(|e| ChaosError::new("net: proxy bind", e.to_string()))?;
         let addr = listener
@@ -235,11 +238,15 @@ impl ChaosProxy {
         })
     }
 
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     fn faults(&self) -> u64 {
         self.faulted.load(Ordering::SeqCst)
     }
 
-    fn shutdown(&mut self) {
+    pub(crate) fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
@@ -437,6 +444,7 @@ pub fn run(config: &CampaignConfig, registry: &Registry) -> Result<NetReport, Ch
             read_timeout: Some(read_timeout),
             write_timeout: Some(Duration::from_secs(2)),
             inject_panic_one_in: Some(3),
+            shard_id: None,
         },
     )
     .map_err(|e| ChaosError::new("net: server bind", e.to_string()))?;

@@ -61,6 +61,14 @@ pub struct CampaignConfig {
     pub fleet_grid: u32,
     /// Seeded regional brownout storms injected into the fleet's day.
     pub fleet_storms: u32,
+    /// Backend crash/restart episodes against the routed tier (router
+    /// surface).
+    pub router_crashes: usize,
+    /// Slow-backend (delaying proxy) episodes against the routed tier.
+    pub router_slow: usize,
+    /// Plans replayed per router episode against the warm expected
+    /// table.
+    pub router_requests: usize,
 }
 
 impl CampaignConfig {
@@ -77,6 +85,9 @@ impl CampaignConfig {
             fleet_nodes: 1024,
             fleet_grid: 32,
             fleet_storms: 2,
+            router_crashes: 2,
+            router_slow: 1,
+            router_requests: 10,
         }
     }
 
@@ -93,6 +104,9 @@ impl CampaignConfig {
             fleet_nodes: 48,
             fleet_grid: 8,
             fleet_storms: 1,
+            router_crashes: 1,
+            router_slow: 1,
+            router_requests: 6,
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::error::ChaosError;
 use crate::plan::CampaignConfig;
-use crate::{compute, fleet, net, power};
+use crate::{compute, fleet, net, power, router};
 use hems_obs::{ManualClock, Registry};
 use hems_serve::json::{parse, Value};
 use std::sync::Arc;
@@ -98,12 +98,13 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     let compute = compute::run(config, &registry)?;
     let net = net::run(config, &registry)?;
     let fleet = fleet::run(config, &registry)?;
+    let router = router::run(config, &registry)?;
 
     // The summary's fault counts come from the shared registry, not the
     // per-surface structs — the snapshot below *is* the ledger.
     let obs = registry.snapshot();
     let count = |name: &str| obs.counter(name).unwrap_or(0);
-    let surfaces: Vec<Value> = ["power", "compute", "net", "fleet"]
+    let surfaces: Vec<Value> = ["power", "compute", "net", "fleet", "router"]
         .iter()
         .map(|surface| {
             surface_summary(
@@ -113,11 +114,11 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
             )
         })
         .collect();
-    let injected: u64 = ["power", "compute", "net", "fleet"]
+    let injected: u64 = ["power", "compute", "net", "fleet", "router"]
         .iter()
         .map(|s| count(&format!("chaos.{s}.injected")))
         .sum();
-    let recovered: u64 = ["power", "compute", "net", "fleet"]
+    let recovered: u64 = ["power", "compute", "net", "fleet", "router"]
         .iter()
         .map(|s| count(&format!("chaos.{s}.recovered")))
         .sum();
@@ -128,6 +129,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Campaign, ChaosError> {
     lines.extend(compute.lines);
     lines.extend(net.lines);
     lines.extend(fleet.lines);
+    lines.extend(router.lines);
 
     let summary = Value::obj(vec![
         ("bench", Value::str("chaos")),
@@ -171,7 +173,7 @@ mod tests {
         // agree with the headline numbers (they are the same ledger).
         let obs = first.summary.get("obs").expect("obs snapshot in summary");
         let series = obs.get("series").expect("series object");
-        let injected_sum: f64 = ["power", "compute", "net", "fleet"]
+        let injected_sum: f64 = ["power", "compute", "net", "fleet", "router"]
             .iter()
             .map(|s| {
                 series

@@ -13,6 +13,7 @@
 //! | `batch_kernels` | scalar device evaluations  | `_many` slab kernels + `sweep_betas` | bit-identical |
 //! | `sweep_engines` | serial sweep               | parallel / chunked / batch engines | bit-identical (batch: transient tolerance vs serial) |
 //! | `serve_threads` | 1-thread serve             | 4-thread serve                 | byte-identical results |
+//! | `serve_sharded` | bare serve                 | router over 1 / 3 shard(s)     | byte-identical results |
 //! | `json_frames`   | codec on torn frames       | itself (round-trip)            | no panic; render idempotent |
 //! | `fleet_runtime` | `NodeState` replay         | `IntermittentRuntime::run_observed` | same commit stream |
 //! | `physics`       | transient simulator        | conservation laws              | invariants hold; runs reproduce |
@@ -29,6 +30,7 @@ use hems_cpu::{CpuLut, Microprocessor};
 use hems_fleet::{NodeState, Schedule};
 use hems_intermittent::{CheckpointPolicy, CommitEvent, IntermittentRuntime, NvmModel, TaskChain};
 use hems_pv::{Irradiance, PvLut, SolarCell};
+use hems_router::RouterHandle;
 use hems_serve::planner::{self, PlanJob};
 use hems_serve::server::{serve, ServeConfig, ServerHandle};
 use hems_serve::{json, Client, ClientError, QueryKind, Request, RetryPolicy, ScenarioSpec};
@@ -66,6 +68,8 @@ pub enum OracleKind {
     SweepEngines,
     /// Single- vs multi-threaded serve answers, byte for byte.
     ServeThreads,
+    /// Bare serve vs router-fronted shard sets (1 and 3 backends).
+    ServeSharded,
     /// NDJSON codec under torn/spliced/bit-flipped frames.
     JsonFrames,
     /// Fleet node state machine vs the intermittent runtime.
@@ -78,14 +82,15 @@ pub enum OracleKind {
 }
 
 impl OracleKind {
-    /// The seven real oracles, in fuzzing order. `Planted` is excluded:
+    /// The eight real oracles, in fuzzing order. `Planted` is excluded:
     /// it exists only for the shrinker self-test.
-    pub fn all() -> [OracleKind; 7] {
+    pub fn all() -> [OracleKind; 8] {
         [
             OracleKind::SolverLut,
             OracleKind::BatchKernels,
             OracleKind::SweepEngines,
             OracleKind::ServeThreads,
+            OracleKind::ServeSharded,
             OracleKind::JsonFrames,
             OracleKind::FleetRuntime,
             OracleKind::Physics,
@@ -99,6 +104,7 @@ impl OracleKind {
             OracleKind::BatchKernels => "batch_kernels",
             OracleKind::SweepEngines => "sweep_engines",
             OracleKind::ServeThreads => "serve_threads",
+            OracleKind::ServeSharded => "serve_sharded",
             OracleKind::JsonFrames => "json_frames",
             OracleKind::FleetRuntime => "fleet_runtime",
             OracleKind::Physics => "physics",
@@ -114,6 +120,7 @@ impl OracleKind {
             "batch_kernels" => OracleKind::BatchKernels,
             "sweep_engines" => OracleKind::SweepEngines,
             "serve_threads" => OracleKind::ServeThreads,
+            "serve_sharded" => OracleKind::ServeSharded,
             "json_frames" => OracleKind::JsonFrames,
             "fleet_runtime" => OracleKind::FleetRuntime,
             "physics" => OracleKind::Physics,
@@ -137,6 +144,52 @@ pub struct OracleCtx {
     pool: WorkerPool,
     single: Option<(ServerHandle, Client)>,
     pooled: Option<(ServerHandle, Client)>,
+    sharded: Option<ShardedTiers>,
+}
+
+/// Router-fronted loopback tiers for the sharding oracle: the same
+/// shard-aware backends behind a 1-slot and a 3-slot consistent-hash
+/// router, with identity verification on so the handshake path is in
+/// the fuzzed surface. Declaration order matters: routers drop (and
+/// shut down) before the backends they front.
+struct ShardedTiers {
+    one_router: RouterHandle,
+    three_router: RouterHandle,
+    one_client: Client,
+    three_client: Client,
+    one_backends: Vec<ServerHandle>,
+    three_backends: Vec<ServerHandle>,
+}
+
+fn start_tier(
+    shards: usize,
+) -> Result<(Vec<ServerHandle>, RouterHandle, Client), ConformanceError> {
+    let mut backends = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let config = ServeConfig {
+            threads: Some(1),
+            cache_capacity: 512,
+            max_queue: 256,
+            max_batch: 8,
+            shard_id: Some(shard as u64),
+            ..ServeConfig::default()
+        };
+        backends.push(
+            serve("127.0.0.1:0", config)
+                .map_err(|e| ConformanceError::new("sharded loopback", e.to_string()))?,
+        );
+    }
+    let router = hems_router::route(
+        "127.0.0.1:0",
+        hems_router::RouterConfig {
+            backends: backends.iter().map(ServerHandle::addr).collect(),
+            verify_shard_ids: true,
+            ..hems_router::RouterConfig::default()
+        },
+    )
+    .map_err(|e| ConformanceError::new("sharded loopback", e.to_string()))?;
+    let client = Client::new(router.addr(), RetryPolicy::default());
+    Ok((backends, router, client))
 }
 
 impl OracleCtx {
@@ -146,6 +199,7 @@ impl OracleCtx {
             pool: WorkerPool::new(2),
             single: None,
             pooled: None,
+            sharded: None,
         }
     }
 
@@ -164,6 +218,39 @@ impl OracleCtx {
             )),
         }
     }
+
+    /// `(direct, routed-over-1, routed-over-3)` clients for the
+    /// sharding oracle; the direct side reuses the single-thread serve.
+    fn sharded_trio(
+        &mut self,
+    ) -> Result<(&mut Client, &mut Client, &mut Client), ConformanceError> {
+        if self.single.is_none() {
+            self.single = Some(start_server(1)?);
+        }
+        if self.sharded.is_none() {
+            let (one_backends, one_router, one_client) = start_tier(1)?;
+            let (three_backends, three_router, three_client) = start_tier(3)?;
+            self.sharded = Some(ShardedTiers {
+                one_router,
+                three_router,
+                one_client,
+                three_client,
+                one_backends,
+                three_backends,
+            });
+        }
+        match (self.single.as_mut(), self.sharded.as_mut()) {
+            (Some(direct), Some(tiers)) => Ok((
+                &mut direct.1,
+                &mut tiers.one_client,
+                &mut tiers.three_client,
+            )),
+            _ => Err(ConformanceError::new(
+                "sharded loopback",
+                "tier startup raced shutdown",
+            )),
+        }
+    }
 }
 
 impl Default for OracleCtx {
@@ -179,6 +266,16 @@ impl Drop for OracleCtx {
         }
         if let Some((mut handle, _)) = self.pooled.take() {
             handle.shutdown();
+        }
+        if let Some(mut tiers) = self.sharded.take() {
+            tiers.one_router.shutdown();
+            tiers.three_router.shutdown();
+            for backend in &mut tiers.one_backends {
+                backend.shutdown();
+            }
+            for backend in &mut tiers.three_backends {
+                backend.shutdown();
+            }
         }
     }
 }
@@ -213,6 +310,7 @@ pub fn run(
         OracleKind::BatchKernels => Ok(batch_kernels(input)),
         OracleKind::SweepEngines => Ok(sweep_engines(input, &ctx.pool)),
         OracleKind::ServeThreads => serve_threads(input, ctx),
+        OracleKind::ServeSharded => serve_sharded(input, ctx),
         OracleKind::JsonFrames => Ok(json_frames(input)),
         OracleKind::FleetRuntime => Ok(fleet_runtime(input)),
         OracleKind::Physics => Ok(physics(input)),
@@ -812,6 +910,86 @@ fn serve_threads(
                         plan_verdict(&b)
                     ),
                 ));
+            }
+        }
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: routing-tier transparency (bare serve vs sharded routers)
+// ---------------------------------------------------------------------
+
+fn serve_sharded(
+    input: &CaseInput,
+    ctx: &mut OracleCtx,
+) -> Result<Option<Divergence>, ConformanceError> {
+    let kind = OracleKind::ServeSharded;
+    let (direct, routed_one, routed_three) = ctx.sharded_trio()?;
+    for (si, spec) in input.specs.iter().enumerate() {
+        // Same kind derivation as the threading oracle but under its
+        // own tag, so the two oracles cover different (spec, query)
+        // pairings for the same corpus.
+        let mut hasher = KeyHasher::new();
+        hasher.write_tag("sharded-oracle");
+        hasher.write_f64(spec.irradiance);
+        hasher.write_f64(spec.v_initial);
+        let query = match hasher.finish() % 5 {
+            0 => QueryKind::OptimalPoint,
+            1 => QueryKind::Mep,
+            2 => QueryKind::Bypass,
+            3 => QueryKind::Sprint,
+            _ => QueryKind::SweepSummary,
+        };
+        let a = direct.plan(query, spec);
+        let b = routed_one.plan(query, spec);
+        let c = routed_three.plan(query, spec);
+        for (side, other) in [("router/1", &b), ("router/3", &c)] {
+            match (&a, other) {
+                (Ok(a), Ok(o)) => {
+                    let left = a.result.render();
+                    let right = o.result.render();
+                    if left != right {
+                        return Ok(diverged(
+                            kind,
+                            format!(
+                                "spec {si} {}: direct {} vs {side} {}",
+                                query.as_wire(),
+                                left,
+                                right
+                            ),
+                        ));
+                    }
+                }
+                (Err(ClientError::Rejected(ma)), Err(ClientError::Rejected(mo))) => {
+                    if ma != mo {
+                        return Ok(diverged(
+                            kind,
+                            format!(
+                                "spec {si} {}: direct rejects '{ma}' vs {side} '{mo}'",
+                                query.as_wire()
+                            ),
+                        ));
+                    }
+                }
+                (Err(ClientError::Exhausted { attempts, last }), _)
+                | (_, Err(ClientError::Exhausted { attempts, last })) => {
+                    return Err(ConformanceError::new(
+                        "sharded oracle",
+                        format!("attempts exhausted ({attempts}): {last}"),
+                    ));
+                }
+                (a, o) => {
+                    return Ok(diverged(
+                        kind,
+                        format!(
+                            "spec {si} {}: direct {} vs {side} {}",
+                            query.as_wire(),
+                            plan_verdict(a),
+                            plan_verdict(o)
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -27,7 +27,7 @@ use crate::weather::WeatherField;
 use crate::wheel::TimeWheel;
 use hems_core::cachekey::KeyHasher;
 use hems_intermittent::CheckpointPolicy;
-use hems_obs::{ManualClock, Registry};
+use hems_obs::{HistogramSnapshot, ManualClock, Registry, Snapshot};
 use hems_serve::json::parse;
 use hems_serve::Value;
 use std::sync::Arc;
@@ -175,6 +175,9 @@ pub struct Fleet {
     node_steps: u64,
     /// Day-boundary counter flush state (totals already flushed).
     flushed: [u64; 4],
+    /// Obs snapshot at the previous day boundary — day lines report
+    /// *that day's* per-node distributions via histogram diffs.
+    day_base: Option<Snapshot>,
 }
 
 impl Fleet {
@@ -225,6 +228,7 @@ impl Fleet {
             registry,
             node_steps: 0,
             flushed: [0; 4],
+            day_base: None,
         })
     }
 
@@ -439,9 +443,18 @@ impl Fleet {
             ("seed", Value::Num(config.seed as f64)),
             ("nodes", Value::Num(config.nodes as f64)),
             ("committed", Value::Num(totals.committed as f64)),
-            ("useful_cycles", Value::Num(totals.useful)),
-            ("wasted_cycles", Value::Num(totals.wasted)),
-            ("checkpoint_cycles", Value::Num(totals.checkpoint)),
+            (
+                "goodput_permille",
+                dist_value(obs.histogram("fleet.goodput_permille")),
+            ),
+            (
+                "ontime_permille",
+                dist_value(obs.histogram("fleet.ontime_permille")),
+            ),
+            (
+                "checkpoint_permille",
+                dist_value(obs.histogram("fleet.checkpoint_permille")),
+            ),
             ("rollbacks", Value::Num(totals.rollbacks as f64)),
             ("storms", Value::Num(storms_total as f64)),
             ("storms_recovered", Value::Num(storms_recovered as f64)),
@@ -546,18 +559,58 @@ impl Fleet {
             self.registry.counter(name).add(total.saturating_sub(*prev));
             *prev = *total;
         }
-        Value::obj(vec![
+        // The day's per-node distributions: diff today's cumulative
+        // histograms against the previous day boundary, so each line
+        // carries exactly the samples recorded above — a fleet-wide
+        // distribution instead of a sum that hides stragglers.
+        let snap = self.registry.snapshot();
+        let day_dist = |name: &str| -> Value {
+            let cur = snap.histogram(name);
+            match (cur, self.day_base.as_ref().and_then(|b| b.histogram(name))) {
+                (Some(c), Some(b)) => dist_value(Some(&c.diff(b))),
+                _ => dist_value(cur),
+            }
+        };
+        let line = Value::obj(vec![
             ("event", Value::str("day")),
             ("day", Value::Num(day as f64)),
             ("committed", Value::Num(totals.committed as f64)),
             ("rollbacks", Value::Num(totals.rollbacks as f64)),
-            ("useful_cycles", Value::Num(totals.useful)),
-            ("wasted_cycles", Value::Num(totals.wasted)),
-            ("checkpoint_cycles", Value::Num(totals.checkpoint)),
+            ("goodput_permille", day_dist("fleet.goodput_permille")),
+            ("ontime_permille", day_dist("fleet.ontime_permille")),
+            ("checkpoint_permille", day_dist("fleet.checkpoint_permille")),
             ("powered_nodes", Value::Num(powered as f64)),
             ("planned_regions", Value::Num(planned as f64)),
-        ])
+        ]);
+        self.day_base = Some(snap);
+        line
     }
+}
+
+/// Renders a histogram as a distribution object: sample count, the
+/// observed extremes, the mean, and interpolated p50/p95. Every field
+/// is a pure function of the recorded samples, so report lines built
+/// from these stay byte-reproducible per seed.
+fn dist_value(hist: Option<&HistogramSnapshot>) -> Value {
+    let (count, min, max, mean, p50, p95) = match hist {
+        Some(h) => (
+            h.count,
+            h.min,
+            h.max,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+        ),
+        None => (0, 0, 0, 0.0, 0.0, 0.0),
+    };
+    Value::obj(vec![
+        ("count", Value::Num(count as f64)),
+        ("min", Value::Num(min as f64)),
+        ("max", Value::Num(max as f64)),
+        ("mean", Value::Num(mean)),
+        ("p50", Value::Num(p50)),
+        ("p95", Value::Num(p95)),
+    ])
 }
 
 #[derive(Debug, Default, Clone, Copy)]

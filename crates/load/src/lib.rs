@@ -1,0 +1,35 @@
+//! `hems-load`: a seeded, open-loop load-generation harness for the
+//! NDJSON serving tier (`hems-serve` directly, or `hems-router` in
+//! front of a shard set).
+//!
+//! Three pieces:
+//!
+//! 1. [`zipf`] — a seeded Zipf(s) key sampler (s = 0 degenerates to
+//!    uniform), so workloads can dial key skew from flat cache-thrash
+//!    streams to hot-key-dominated ones.
+//! 2. [`workload`] — turns a [`workload::WorkloadConfig`] into a
+//!    deterministic arrival schedule: a non-homogeneous Poisson process
+//!    whose rate follows a diurnal sine wave, each arrival carrying a
+//!    fully rendered request line for its sampled key.
+//! 3. [`run`] — replays a schedule **open-loop** against a live
+//!    address: arrivals are sent at their scheduled times whether or
+//!    not earlier responses have come back, and latency is measured
+//!    from the *scheduled* start, so a slow server cannot hide queueing
+//!    delay by slowing the generator down (no coordinated omission).
+//!    A saturate mode drops the pacing to measure peak throughput.
+//!
+//! Everything is a pure function of `(config, seed)` up to wall-clock
+//! jitter: the same seed replays byte-identical request streams, which
+//! is what makes the router-vs-direct digest check in the bench binary
+//! meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod workload;
+pub mod zipf;
+
+pub use run::{knee_of, run, RampPoint, RunConfig, RunReport};
+pub use workload::{spec_for_key, Arrival, WorkloadConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,226 @@
+//! Deterministic workload synthesis: keys → scenarios, and a diurnal
+//! non-homogeneous Poisson arrival schedule.
+//!
+//! The instantaneous request rate follows a sine wave
+//! `r(t) = base · (1 + A·sin(2π·waves·t/T))` — the diurnal shape a
+//! battery-less fleet presents to its planning tier (PAPER.md: harvest
+//! tracks the sun; nodes that harvest more plan more). Arrivals are
+//! drawn from that rate by thinning a homogeneous Poisson process at
+//! the peak rate, so the schedule is an exact sample of the wave and a
+//! pure function of the seed.
+//!
+//! Each arrival carries a pre-rendered NDJSON request line for a key
+//! drawn from a [`Zipf`] sampler, so replaying the same config against
+//! two different targets sends byte-identical streams.
+
+use crate::zipf::Zipf;
+use hems_serve::{QueryKind, Request, ScenarioSpec};
+use hems_units::XorShiftRng;
+use std::time::Duration;
+
+/// One scheduled request: a send offset from the run start and the raw
+/// line to send.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Scheduled send time, nanoseconds from the start of the run.
+    pub at_ns: u64,
+    /// Sampled key rank (0 = hottest under Zipf skew).
+    pub key: usize,
+    /// Fully rendered NDJSON request line.
+    pub line: String,
+}
+
+/// Everything that determines a workload, and therefore (given a
+/// target) a whole load-test: the schedule is a pure function of this
+/// struct.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Distinct plan-cache keys the stream draws from.
+    pub keyspace: usize,
+    /// Zipf skew exponent (0 = uniform, ~1 = classic hot-key skew).
+    pub zipf_exponent: f64,
+    /// Mean request rate over the whole run, Hz.
+    pub base_rate_hz: f64,
+    /// Diurnal modulation depth in `[0, 1]`: 0 = flat, 1 = the trough
+    /// touches zero.
+    pub wave_amplitude: f64,
+    /// Full sine cycles across the run.
+    pub waves: f64,
+    /// Scheduled length of the run.
+    pub duration: Duration,
+    /// Seed for both the arrival process and the key sampler.
+    pub seed: u64,
+    /// Force every request to one query kind (e.g. the expensive
+    /// `sweep_summary` for cache-thrash experiments); `None` alternates
+    /// by key rank via [`kind_for_key`].
+    pub kind_override: Option<QueryKind>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            keyspace: 192,
+            zipf_exponent: 0.0,
+            base_rate_hz: 200.0,
+            wave_amplitude: 0.0,
+            waves: 1.0,
+            duration: Duration::from_secs(2),
+            seed: 1,
+            kind_override: None,
+        }
+    }
+}
+
+/// The scenario a key rank maps to. Ranks spread over the full valid
+/// irradiance band `[0.2, 1.8]` (fractions of full sun), so every key
+/// is a distinct, buildable plan-cache entry.
+pub fn spec_for_key(key: usize, keyspace: usize) -> ScenarioSpec {
+    let span = keyspace.max(2) - 1;
+    let frac = key.min(span) as f64 / span as f64;
+    ScenarioSpec::baseline(0.2 + 1.6 * frac)
+}
+
+/// The query kind a key rank maps to: even ranks ask for the optimal
+/// operating point, odd ranks for the minimum-energy point, so both hot
+/// solver paths stay exercised.
+pub fn kind_for_key(key: usize) -> QueryKind {
+    if key.is_multiple_of(2) {
+        QueryKind::OptimalPoint
+    } else {
+        QueryKind::Mep
+    }
+}
+
+impl WorkloadConfig {
+    /// Instantaneous request rate at `t_s` seconds into the run, Hz.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let duration_s = self.duration.as_secs_f64().max(1e-9);
+        let amplitude = self.wave_amplitude.clamp(0.0, 1.0);
+        let phase = std::f64::consts::TAU * self.waves * t_s / duration_s;
+        (self.base_rate_hz * (1.0 + amplitude * phase.sin())).max(0.0)
+    }
+
+    /// Generates the full arrival schedule: thinning at the peak rate,
+    /// key per arrival from the Zipf sampler, request line rendered
+    /// with the arrival's ordinal as its id.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let amplitude = self.wave_amplitude.clamp(0.0, 1.0);
+        let peak = (self.base_rate_hz * (1.0 + amplitude)).max(1e-9);
+        let horizon_s = self.duration.as_secs_f64();
+        let zipf = Zipf::new(self.keyspace, self.zipf_exponent);
+        let mut rng = XorShiftRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0i64;
+        loop {
+            let u = rng.next_f64().max(1e-12);
+            t += -u.ln() / peak;
+            if t >= horizon_s {
+                break;
+            }
+            // Thin: keep this candidate with probability r(t)/peak.
+            if rng.next_f64() * peak > self.rate_at(t) {
+                continue;
+            }
+            let key = zipf.sample(&mut rng);
+            out.push(Arrival {
+                at_ns: (t * 1e9) as u64,
+                key,
+                line: self.line_for(id, key),
+            });
+            id += 1;
+        }
+        out
+    }
+
+    /// The request line sent for `key` with request id `id`.
+    pub fn line_for(&self, id: i64, key: usize) -> String {
+        let spec = spec_for_key(key, self.keyspace);
+        let kind = self.kind_override.unwrap_or_else(|| kind_for_key(key));
+        Request::render_line(id, kind, Some(&spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let config = WorkloadConfig {
+            base_rate_hz: 300.0,
+            wave_amplitude: 0.5,
+            duration: Duration::from_millis(500),
+            zipf_exponent: 1.0,
+            ..WorkloadConfig::default()
+        };
+        let a = config.arrivals();
+        let b = config.arrivals();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ns, y.at_ns);
+            assert_eq!(x.line, y.line);
+        }
+        let c = WorkloadConfig {
+            seed: 2,
+            ..config.clone()
+        }
+        .arrivals();
+        assert_ne!(
+            a.iter().map(|x| x.at_ns).collect::<Vec<_>>(),
+            c.iter().map(|x| x.at_ns).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_mean_rate() {
+        let config = WorkloadConfig {
+            base_rate_hz: 500.0,
+            wave_amplitude: 0.8,
+            waves: 2.0,
+            duration: Duration::from_secs(2),
+            ..WorkloadConfig::default()
+        };
+        let n = config.arrivals().len() as f64;
+        // A full number of sine cycles leaves the mean at base_rate:
+        // expect ~1000 arrivals, Poisson noise is ~±3%.
+        assert!((800.0..1200.0).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn diurnal_wave_modulates_arrival_density() {
+        let config = WorkloadConfig {
+            base_rate_hz: 800.0,
+            wave_amplitude: 0.9,
+            waves: 1.0,
+            duration: Duration::from_secs(2),
+            ..WorkloadConfig::default()
+        };
+        let arrivals = config.arrivals();
+        let quarter = config.duration.as_nanos() as u64 / 4;
+        // One full cycle: the first quarter rides the crest, the third
+        // rides the trough.
+        let crest = arrivals.iter().filter(|a| a.at_ns < quarter).count();
+        let trough = arrivals
+            .iter()
+            .filter(|a| a.at_ns >= 2 * quarter && a.at_ns < 3 * quarter)
+            .count();
+        assert!(
+            crest > trough * 3,
+            "crest {crest} vs trough {trough} under 0.9 modulation"
+        );
+    }
+
+    #[test]
+    fn keys_map_to_distinct_buildable_scenarios() {
+        let keyspace = 24;
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..keyspace {
+            let spec = spec_for_key(key, keyspace);
+            let built = spec.build().expect("buildable scenario");
+            let cache_key = spec.cache_key(kind_for_key(key), &built.0, &built.1);
+            assert!(seen.insert(cache_key), "key {key} collides");
+        }
+    }
+}

@@ -159,6 +159,20 @@ impl Snapshot {
         }
     }
 
+    /// The same snapshot with every series renamed to
+    /// `<prefix>.<name>`. This is how a multi-shard aggregator keeps
+    /// per-shard series distinguishable under [`Snapshot::merged`]
+    /// (which drops colliding names): label each shard's snapshot —
+    /// `shard0.serve.hits`, `shard1.serve.hits` — before merging.
+    pub fn with_prefix(mut self, prefix: &str) -> Snapshot {
+        for series in &mut self.series {
+            series.name = format!("{prefix}.{}", series.name);
+        }
+        // Prefixing preserves relative order of the sorted names, so the
+        // series stay ascending and `get`'s binary search stays valid.
+        self
+    }
+
     /// Union of two snapshots (e.g. the process-global registry plus a
     /// component's private one). On a name collision `self` wins.
     pub fn merged(mut self, other: Snapshot) -> Snapshot {
@@ -406,6 +420,23 @@ mod tests {
         assert_eq!(delta.at_ns, 60);
         assert_eq!(delta.counter("a.count"), Some(6));
         assert_eq!(delta.gauge("a.depth"), Some(3));
+    }
+
+    #[test]
+    fn prefixed_snapshots_merge_without_collisions() {
+        let shard = |value: u64| Snapshot {
+            at_ns: 7,
+            series: vec![Series {
+                name: "serve.hits".into(),
+                data: SeriesData::Counter(value),
+            }],
+        };
+        let merged = shard(3)
+            .with_prefix("shard0")
+            .merged(shard(9).with_prefix("shard1"));
+        assert_eq!(merged.counter("shard0.serve.hits"), Some(3));
+        assert_eq!(merged.counter("shard1.serve.hits"), Some(9));
+        assert!(merged.get("serve.hits").is_none());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! `hems-router` daemon: front a set of `hems-serve` backends.
+//!
+//! ```text
+//! HEMS_ROUTER_ADDR=127.0.0.1:7979 \
+//! HEMS_ROUTER_BACKENDS=127.0.0.1:7878,127.0.0.1:7879 hems-router
+//!     front existing backends (index order = shard id)
+//!
+//! hems-router --spawn 3
+//!     spawn 3 in-process hems-serve shards on ephemeral ports and
+//!     front them (single-command serving tier for local work)
+//! ```
+//!
+//! With `--spawn`, backends get `shard_id` set so the router's identity
+//! handshake is exercised end to end. Runs until a wire `shutdown`.
+
+use hems_router::{route, RouterConfig};
+use hems_serve::{serve, ServeConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let addr = std::env::var("HEMS_ROUTER_ADDR").unwrap_or_else(|_| "127.0.0.1:7979".to_string());
+    let spawn = spawn_count();
+    let mut backends: Vec<ServerHandle> = Vec::new();
+    let backend_addrs: Vec<SocketAddr> = if let Some(n) = spawn {
+        for shard in 0..n {
+            let config = ServeConfig {
+                shard_id: Some(shard as u64),
+                ..ServeConfig::default()
+            };
+            match serve("127.0.0.1:0", config) {
+                Ok(handle) => backends.push(handle),
+                Err(e) => {
+                    eprintln!("hems-router: spawning shard {shard}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        backends.iter().map(ServerHandle::addr).collect()
+    } else {
+        match parse_backends() {
+            Ok(addrs) => addrs,
+            Err(message) => {
+                eprintln!("hems-router: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let config = RouterConfig {
+        verify_shard_ids: spawn.is_some(),
+        backends: backend_addrs,
+        ..RouterConfig::default()
+    };
+    let mut handle = match route(addr.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("hems-router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hems-router listening on {}", handle.addr());
+    for (i, backend) in backends.iter().enumerate() {
+        println!("  shard {i}: {}", backend.addr());
+    }
+    handle.wait();
+    for backend in &backends {
+        backend.begin_drain();
+    }
+    ExitCode::SUCCESS
+}
+
+fn spawn_count() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--spawn" {
+            return args.next().and_then(|n| n.parse().ok()).or(Some(3));
+        }
+    }
+    None
+}
+
+fn parse_backends() -> Result<Vec<SocketAddr>, String> {
+    let raw = std::env::var("HEMS_ROUTER_BACKENDS")
+        .map_err(|_| "set HEMS_ROUTER_BACKENDS=host:port,... or pass --spawn N".to_string())?;
+    let mut addrs = Vec::new();
+    for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        addrs.push(
+            part.parse::<SocketAddr>()
+                .map_err(|e| format!("backend address {part:?}: {e}"))?,
+        );
+    }
+    if addrs.is_empty() {
+        return Err("HEMS_ROUTER_BACKENDS is empty".to_string());
+    }
+    Ok(addrs)
+}

@@ -1,0 +1,228 @@
+//! The per-backend health state machine: eject, half-open, rejoin.
+//!
+//! A backend's health is driven by two signal streams — periodic seeded
+//! probes (a `stats` round trip on a fresh connection, which also
+//! re-verifies the shard-identity handshake) and live traffic outcomes.
+//! Both feed one consecutive-failure counter; only probe rounds advance
+//! the ejection cooldown, so the machine's transitions are a pure
+//! function of the (deterministic, seeded) probe schedule and the
+//! backend's actual behavior:
+//!
+//! ```text
+//!            failures ≥ eject_after
+//!   Healthy ───────────────────────► Ejected
+//!      ▲                               │ rejoin_after probe rounds
+//!      │ probe/traffic success         ▼
+//!      └─────────────────────────── HalfOpen
+//!                                      │ any failure
+//!                                      └──────────► Ejected (cooldown resets)
+//! ```
+//!
+//! `Ejected` takes a shard out of rotation (the ring slides its keys to
+//! the next live shard); `HalfOpen` admits trial traffic again so one
+//! success can confirm recovery without waiting for a full probe round.
+
+/// Where a backend stands in the ejection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// In rotation; failures accumulate toward ejection.
+    Healthy,
+    /// Out of rotation; probe rounds count toward half-open.
+    Ejected,
+    /// Trial rotation: the next outcome decides.
+    HalfOpen,
+}
+
+impl HealthState {
+    /// Stable lowercase name for reports and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Ejected => "ejected",
+            HealthState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Ejection thresholds.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive failures (probe or traffic) that eject a shard.
+    pub eject_after: u32,
+    /// Probe rounds a shard stays ejected before a half-open trial.
+    pub rejoin_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            eject_after: 3,
+            rejoin_after: 2,
+        }
+    }
+}
+
+/// What one recorded outcome changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Crossed the failure threshold: now ejected.
+    Ejected,
+    /// Cooldown elapsed: now admitting trial traffic.
+    HalfOpen,
+    /// A trial (or ejected-state probe) succeeded: back in rotation.
+    Rejoined,
+}
+
+/// One backend's mutable health record.
+#[derive(Debug, Clone)]
+pub struct Health {
+    state: HealthState,
+    consecutive_failures: u32,
+    ejected_rounds: u32,
+}
+
+impl Default for Health {
+    fn default() -> Health {
+        Health::new()
+    }
+}
+
+impl Health {
+    /// A fresh healthy record.
+    pub fn new() -> Health {
+        Health {
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            ejected_rounds: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// `true` when the ring may route traffic here (healthy or trial).
+    pub fn admits_traffic(&self) -> bool {
+        self.state != HealthState::Ejected
+    }
+
+    /// Records a probe outcome; probe rounds advance the ejection
+    /// cooldown.
+    pub fn on_probe(&mut self, ok: bool, policy: &HealthPolicy) -> Transition {
+        if ok {
+            return self.on_success();
+        }
+        match self.state {
+            HealthState::Ejected => {
+                self.ejected_rounds = self.ejected_rounds.saturating_add(1);
+                if self.ejected_rounds >= policy.rejoin_after.max(1) {
+                    self.state = HealthState::HalfOpen;
+                    Transition::HalfOpen
+                } else {
+                    Transition::None
+                }
+            }
+            _ => self.on_failure(policy),
+        }
+    }
+
+    /// Records a live-traffic outcome (no cooldown advance).
+    pub fn on_traffic(&mut self, ok: bool, policy: &HealthPolicy) -> Transition {
+        if ok {
+            self.on_success()
+        } else {
+            self.on_failure(policy)
+        }
+    }
+
+    fn on_success(&mut self) -> Transition {
+        let was = self.state;
+        self.state = HealthState::Healthy;
+        self.consecutive_failures = 0;
+        self.ejected_rounds = 0;
+        if was == HealthState::Healthy {
+            Transition::None
+        } else {
+            Transition::Rejoined
+        }
+    }
+
+    fn on_failure(&mut self, policy: &HealthPolicy) -> Transition {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            HealthState::HalfOpen => {
+                // A failed trial re-ejects immediately and restarts the
+                // cooldown.
+                self.state = HealthState::Ejected;
+                self.ejected_rounds = 0;
+                Transition::Ejected
+            }
+            HealthState::Healthy if self.consecutive_failures >= policy.eject_after.max(1) => {
+                self.state = HealthState::Ejected;
+                self.ejected_rounds = 0;
+                Transition::Ejected
+            }
+            _ => Transition::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            eject_after: 3,
+            rejoin_after: 2,
+        }
+    }
+
+    #[test]
+    fn ejects_after_consecutive_failures_then_half_opens_then_rejoins() {
+        let p = policy();
+        let mut h = Health::new();
+        assert_eq!(h.on_probe(false, &p), Transition::None);
+        assert_eq!(h.on_probe(false, &p), Transition::None);
+        assert_eq!(h.on_probe(false, &p), Transition::Ejected);
+        assert!(!h.admits_traffic());
+        // Cooldown: two failed rounds while ejected → half-open trial.
+        assert_eq!(h.on_probe(false, &p), Transition::None);
+        assert_eq!(h.on_probe(false, &p), Transition::HalfOpen);
+        assert!(h.admits_traffic());
+        // Trial succeeds → rejoined.
+        assert_eq!(h.on_probe(true, &p), Transition::Rejoined);
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn failed_half_open_trial_re_ejects_and_restarts_cooldown() {
+        let p = policy();
+        let mut h = Health::new();
+        for _ in 0..3 {
+            h.on_probe(false, &p);
+        }
+        h.on_probe(false, &p);
+        assert_eq!(h.on_probe(false, &p), Transition::HalfOpen);
+        assert_eq!(h.on_traffic(false, &p), Transition::Ejected);
+        assert!(!h.admits_traffic());
+        // Full cooldown again before the next trial.
+        assert_eq!(h.on_probe(false, &p), Transition::None);
+        assert_eq!(h.on_probe(false, &p), Transition::HalfOpen);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let p = policy();
+        let mut h = Health::new();
+        h.on_traffic(false, &p);
+        h.on_traffic(false, &p);
+        assert_eq!(h.on_traffic(true, &p), Transition::None);
+        h.on_traffic(false, &p);
+        h.on_traffic(false, &p);
+        assert_eq!(h.state(), HealthState::Healthy, "streak was reset");
+    }
+}

@@ -1,0 +1,104 @@
+//! Router counters and the forward-latency histogram, on the shared
+//! telemetry core.
+//!
+//! Same shape as `hems_serve::ServeStats`: every number is a `hems_obs`
+//! metric in a per-router registry (named `router.*`), powering the
+//! wire `stats` verb, the `metrics` registry snapshot (merged with each
+//! shard's own relabeled snapshot), and in-process test assertions.
+
+use hems_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Counters plus the end-to-end forward-latency histogram.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    registry: Arc<Registry>,
+    /// Request lines parsed (every verb, including refused ones).
+    pub requests: Counter,
+    /// Requests answered by a backend (after any retries).
+    pub forwarded: Counter,
+    /// Requests refused by per-shard admission control.
+    pub overloaded: Counter,
+    /// Forward attempts beyond each request's first (retries).
+    pub retries: Counter,
+    /// Requests the router itself answered with an error (parse
+    /// failures, exhausted retries, no live shard).
+    pub errors: Counter,
+    /// Health probes performed.
+    pub probes: Counter,
+    /// Health probes that failed.
+    pub probe_failures: Counter,
+    /// Healthy/half-open → ejected transitions.
+    pub ejections: Counter,
+    /// Ejected/half-open → healthy transitions.
+    pub rejoins: Counter,
+    /// Client connections reaped by the read deadline.
+    pub reaped: Counter,
+    /// Live (routable) backends right now.
+    pub backends_live: Gauge,
+    latency: Histogram,
+}
+
+impl Default for RouterStats {
+    fn default() -> RouterStats {
+        RouterStats::new()
+    }
+}
+
+impl RouterStats {
+    /// Fresh zeroed stats over a fresh per-router registry.
+    pub fn new() -> RouterStats {
+        let registry = Arc::new(Registry::new());
+        RouterStats {
+            requests: registry.counter("router.requests"),
+            forwarded: registry.counter("router.forwarded"),
+            overloaded: registry.counter("router.overloaded"),
+            retries: registry.counter("router.retries"),
+            errors: registry.counter("router.errors"),
+            probes: registry.counter("router.probes"),
+            probe_failures: registry.counter("router.probe_failures"),
+            ejections: registry.counter("router.ejections"),
+            rejoins: registry.counter("router.rejoins"),
+            reaped: registry.counter("router.reaped"),
+            backends_live: registry.gauge("router.backends_live"),
+            latency: registry.histogram("router.latency_ns"),
+            registry,
+        }
+    }
+
+    /// The per-router registry backing these stats.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Records one request's receipt→response latency.
+    pub fn record_latency_ns(&self, ns: f64) {
+        self.latency.record(ns.max(0.0) as u64);
+    }
+
+    /// `(p50, p95)` forward latency in nanoseconds, `None` with no
+    /// samples yet.
+    pub fn latency_percentiles(&self) -> Option<(f64, f64)> {
+        let snap = self.latency.snapshot();
+        if snap.count == 0 {
+            return None;
+        }
+        Some((snap.quantile(0.50), snap.quantile(0.95)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_under_router_names() {
+        let stats = RouterStats::new();
+        stats.requests.inc();
+        stats.record_latency_ns(1000.0);
+        let snap = stats.registry().snapshot();
+        assert_eq!(snap.counter("router.requests"), Some(1));
+        assert!(snap.histogram("router.latency_ns").is_some());
+        assert!(stats.latency_percentiles().is_some());
+    }
+}

@@ -51,6 +51,7 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 mod sync;
+pub mod wire;
 
 pub use cache::PlanCache;
 pub use client::{Client, ClientError, PlanAnswer, RetryPolicy};

@@ -44,10 +44,11 @@ use crate::proto::{
 };
 use crate::stats::ServeStats;
 use crate::sync::relock;
+use crate::wire::{is_timeout, read_line_bounded};
 use hems_obs::clock::monotonic_ns;
 use hems_sim::WorkerPool;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,6 +82,13 @@ pub struct ServeConfig {
     /// waiters get a retryable degraded response, the batch survives, the
     /// `faults` counter ticks. `None` (the default) injects nothing.
     pub inject_panic_one_in: Option<u64>,
+    /// Shard identity for router-fronted deployments: when set, `stats`
+    /// responses carry a `shard` field. The router's connect handshake
+    /// probes it and refuses to pool connections to a backend whose
+    /// reported identity disagrees with the ring slot it was registered
+    /// under (a misconfigured shard set silently destroys cache affinity;
+    /// the handshake turns that into an ejection instead).
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +102,7 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
             inject_panic_one_in: None,
+            shard_id: None,
         }
     }
 }
@@ -127,6 +136,21 @@ impl Shared {
         relock(&self.queue).len()
     }
 
+    /// The `stats` response body: the counter snapshot, plus the shard
+    /// identity when this server runs as a router-fronted shard.
+    fn stats_value(&self) -> crate::json::Value {
+        let snapshot =
+            self.stats
+                .snapshot(self.queue_depth(), self.cache.len(), self.pool.threads());
+        match (self.config.shard_id, snapshot) {
+            (Some(sid), crate::json::Value::Obj(mut fields)) => {
+                fields.push(("shard".to_string(), crate::json::Value::Num(sid as f64)));
+                crate::json::Value::Obj(fields)
+            }
+            (_, snapshot) => snapshot,
+        }
+    }
+
     fn begin_shutdown(&self) {
         self.accepting.store(false, Ordering::SeqCst);
         // Wake the batcher even if the queue is empty so it can exit.
@@ -151,11 +175,17 @@ impl ServerHandle {
 
     /// Live service counters (the same snapshot a `stats` query returns).
     pub fn stats_snapshot(&self) -> crate::json::Value {
-        self.shared.stats.snapshot(
-            self.shared.queue_depth(),
-            self.shared.cache.len(),
-            self.shared.pool.threads(),
-        )
+        self.shared.stats_value()
+    }
+
+    /// Initiates graceful shutdown *without* joining: stops accepting,
+    /// wakes the batcher to drain, and returns immediately. This is the
+    /// drain hook a supervisor (the router's drain-and-rejoin protocol,
+    /// the chaos crash/restart surface) uses to take a backend out of
+    /// rotation while its in-flight batches still complete; follow with
+    /// [`ServerHandle::wait`] or [`ServerHandle::shutdown`] to join.
+    pub fn begin_drain(&self) {
+        self.shared.begin_shutdown();
     }
 
     /// Initiates graceful shutdown and blocks until in-flight work drains.
@@ -292,40 +322,6 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Reads one `\n`-terminated line with a hard size cap. `Ok(None)` = EOF.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    max_bytes: usize,
-) -> io::Result<Option<String>> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                return if line.is_empty() {
-                    Ok(None)
-                } else {
-                    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
-                };
-            }
-            Ok(_) => {
-                let [b] = byte;
-                if b == b'\n' {
-                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-                }
-                if line.len() >= max_bytes {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "request line exceeds the size cap",
-                    ));
-                }
-                line.push(b);
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
 fn write_line(conn: &Arc<Mutex<TcpStream>>, line: &str) {
     let mut stream = relock(conn);
     let _ = stream.write_all(line.as_bytes());
@@ -375,12 +371,10 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         };
         match request.kind {
             QueryKind::Stats => {
-                let snapshot = shared.stats.snapshot(
-                    shared.queue_depth(),
-                    shared.cache.len(),
-                    shared.pool.threads(),
+                write_line(
+                    &writer,
+                    &ok_response(&request.id, false, shared.stats_value()),
                 );
-                write_line(&writer, &ok_response(&request.id, false, snapshot));
                 shared.stats.record_latency_ns(elapsed_ns(started));
             }
             QueryKind::Metrics => {
@@ -491,16 +485,6 @@ fn ok_line(id: &crate::json::Value, cached: bool, rendered_result: &str) -> Stri
     line.push_str(rendered_result);
     line.push('}');
     line
-}
-
-/// `true` for the error kinds a socket deadline produces. Linux surfaces
-/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as `WouldBlock`; other platforms use
-/// `TimedOut`.
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
 }
 
 fn elapsed_ns(started_ns: u64) -> f64 {
@@ -669,7 +653,7 @@ mod tests {
     use super::*;
     use crate::json::{parse, Value};
     use crate::proto::ScenarioSpec;
-    use std::io::BufRead;
+    use std::io::{BufRead, Read};
 
     fn small_config() -> ServeConfig {
         ServeConfig {

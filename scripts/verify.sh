@@ -98,6 +98,25 @@ print(f"verify: {report['fixtures']} fixtures bit-for-bit, "
       f"{rate:.0f} cases/sec overall")
 EOF
 
+echo "== load: router smoke (writes BENCH_load.json) =="
+# Serving-tier smoke (DESIGN.md §17): a seeded open-loop load run
+# against a router-fronted shard set. The bin exits nonzero if the
+# router-vs-direct response digests diverge; the checks below re-assert
+# the digest match and that no request errored in the digest pass.
+HEMS_BENCH_SMOKE=1 cargo run --release -q -p hems-load -- --out BENCH_load.json > /dev/null
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_load.json"))
+digest = report["digest"]
+assert digest["match"], "router-vs-direct digest mismatch"
+assert digest["requests"] > 0, "digest pass sent no requests"
+scaling = report["scaling"]
+assert scaling["one_backend_hz"] > 0 and scaling["three_backend_hz"] > 0
+assert report["knee"]["points"], "knee ramp recorded no points"
+print(f"verify: router digest-transparent over {digest['requests']} "
+      f"requests, 1->3 backend speedup {scaling['speedup']:.2f}x (smoke)")
+EOF
+
 echo "== smoke bench: sweep (writes BENCH_sweep.json) =="
 HEMS_BENCH_SMOKE=1 cargo bench -q -p hems-bench --bench sweep
 # The adaptive serial cutover guarantees the parallel engine entry never
@@ -131,7 +150,7 @@ cargo run --release -q --example metrics_query > /dev/null
 
 # The serve and obs benches self-validate their reports before exiting;
 # double-check the files landed where the docs say.
-for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json BENCH_fleet.json BENCH_conformance.json; do
+for report in BENCH_sweep.json BENCH_serve.json BENCH_chaos.json BENCH_obs.json BENCH_fleet.json BENCH_conformance.json BENCH_load.json; do
     [ -s "$report" ] || { echo "verify: missing $report" >&2; exit 1; }
 done
 
